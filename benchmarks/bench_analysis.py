@@ -1,0 +1,50 @@
+"""E14 — reachability analysis throughput.
+
+Times the full design-error audit (deadlocks, blocked receptions, dead
+code) over composed systems of growing size.
+"""
+
+import pytest
+
+from repro import workloads
+from repro.analysis import analyze_protocol
+from repro.core.generator import derive_protocol
+
+
+@pytest.mark.parametrize("places", [3, 4, 5])
+def test_analyze_pipeline(benchmark, places):
+    result = derive_protocol(workloads.pipeline(places, rounds=2))
+
+    def run():
+        report = analyze_protocol(result.entities)
+        assert report.clean
+        return report
+
+    report = benchmark(run)
+    print(f"\n[analysis n={places}] states={report.states_explored}")
+
+
+def test_analyze_example3(benchmark, example3_result):
+    def run():
+        return analyze_protocol(
+            example3_result.entities,
+            discipline="selective",
+            max_states=4_000,
+            use_occurrences=False,
+        )
+
+    report = benchmark(run)
+    assert not report.deadlocks
+
+
+def test_analyze_transport(benchmark, transport_result):
+    def run():
+        return analyze_protocol(
+            transport_result.entities,
+            discipline="selective",
+            max_states=4_000,
+            use_occurrences=False,
+        )
+
+    report = benchmark(run)
+    assert not report.deadlocks

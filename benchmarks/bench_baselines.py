@@ -1,0 +1,133 @@
+"""E10 — derived protocol vs the Section 3 baselines.
+
+The paper motivates distributed derivation by two claims about the
+centralized "trivial solution": it "requires many synchronization
+messages and the load for the server PE becomes large".  These
+benchmarks measure both claims on pipeline workloads, plus the naive
+projection's failure rate (the reason synchronization messages exist at
+all).
+
+Run with -s to see the comparison rows; the assertions encode the shape
+the paper predicts (distributed wins on messages and on server load as
+soon as the work actually moves between places).
+"""
+
+import pytest
+
+from repro import workloads
+from repro.core.centralized import derive_centralized
+from repro.core.generator import derive_protocol
+from repro.lotos.events import ReceiveAction, SendAction
+from repro.runtime import build_system, check_run, random_run
+from repro.runtime.executor import run_many
+
+
+def _message_total(entities, runs=10, max_steps=4_000):
+    system = build_system(entities)
+    sent = 0
+    events = 0
+    for run in run_many(system, runs=runs, max_steps=max_steps):
+        assert run.terminated
+        sent += run.messages_sent
+        events += len(run.trace)
+    return sent, events
+
+
+@pytest.mark.parametrize("places,rounds", [(3, 2), (4, 3), (5, 4)])
+def test_messages_distributed_vs_centralized(benchmark, places, rounds):
+    spec = workloads.pipeline(places, rounds)
+    distributed = derive_protocol(spec)
+    centralized = derive_centralized(spec)
+
+    def run():
+        dist_sent, dist_events = _message_total(distributed.entities, runs=3)
+        cent_sent, cent_events = _message_total(centralized.entities, runs=3)
+        assert dist_events == cent_events  # same service happened
+        assert dist_sent < cent_sent  # the paper's claim, measured
+        return dist_sent, cent_sent
+
+    dist_sent, cent_sent = benchmark(run)
+    print(
+        f"\n[pipeline n={places} rounds={rounds}] distributed={dist_sent} "
+        f"centralized={cent_sent} messages "
+        f"(ratio {cent_sent / dist_sent:.2f}x)"
+    )
+
+
+@pytest.mark.parametrize("places", [3, 5])
+def test_server_load_concentration(benchmark, places):
+    """Claim 2: 'the load for the server PE becomes large'.
+
+    Measured as the fraction of message endpoints touching the busiest
+    entity: ~0.5 for a pipeline's distributed derivation (each hop has
+    two endpoints spread around the ring), 1.0 for the centralized one.
+    """
+    spec = workloads.pipeline(places, rounds=3)
+    distributed = derive_protocol(spec)
+    centralized = derive_centralized(spec)
+
+    def endpoint_share(entities, server_candidate):
+        system = build_system(entities, hide=False)
+        touches = {}
+        total = 0
+        state = system.initial
+        import random
+
+        rng = random.Random(0)
+        for _ in range(4_000):
+            transitions = system.transitions(state)
+            if not transitions:
+                break
+            label, state = transitions[rng.randrange(len(transitions))]
+            if isinstance(label, (SendAction, ReceiveAction)):
+                total += 1
+                for endpoint in (
+                    (label.src, label.dest)
+                    if isinstance(label, SendAction)
+                    else (label.src, label.dest)
+                ):
+                    touches[endpoint] = touches.get(endpoint, 0) + 1
+        busiest = max(touches.values()) if touches else 0
+        return busiest / (2 * total) if total else 0.0
+
+    def run():
+        dist_share = endpoint_share(distributed.entities, None)
+        cent_share = endpoint_share(centralized.entities, centralized.server)
+        assert cent_share > dist_share
+        return dist_share, cent_share
+
+    dist_share, cent_share = benchmark(run)
+    print(
+        f"\n[server load n={places}] busiest-entity share: "
+        f"distributed={dist_share:.2f} centralized={cent_share:.2f}"
+    )
+
+
+@pytest.mark.parametrize("places", [2, 3])
+def test_naive_projection_failure_rate(benchmark, places):
+    """The naive baseline violates the service under most schedules."""
+    spec = workloads.pipeline(places, rounds=2)
+    naive = derive_protocol(spec, emit_sync=False)
+
+    def run():
+        system = build_system(naive.entities)
+        failures = 0
+        total = 20
+        for seed in range(total):
+            result = random_run(system, seed=seed, max_steps=2_000)
+            if not check_run(naive.service, result):
+                failures += 1
+        assert failures > 0
+        return failures, total
+
+    failures, total = benchmark(run)
+    print(f"\n[naive n={places}] {failures}/{total} schedules violate the service")
+
+
+def test_derivation_cost_distributed_vs_centralized(benchmark):
+    spec = workloads.pipeline(4, rounds=2)
+
+    def run():
+        return derive_protocol(spec), derive_centralized(spec)
+
+    benchmark(run)

@@ -1,0 +1,114 @@
+"""E8 — the Section 4.3 message-complexity table, regenerated.
+
+The paper's analysis (its only quantitative "table"):
+
+    ; or >>              at most 1 message
+    []                   at most n messages
+    [>                   Rel <= n-1, Interr <= n-1 (n-2 with a nonempty
+                         continuation; the paper's own example emits n-1)
+    process invocation   n-1 messages
+    parallel             a multiplication factor on messages crossing it
+
+Each benchmark sweeps the place count n for one construct family, checks
+the measured counts against the bound inside the timed function, and the
+printed summary (run pytest with -s) is the reproduced table.
+"""
+
+import pytest
+
+from repro import workloads
+from repro.core.complexity import analyze, bound_for
+from repro.core.generator import derive_protocol
+
+
+def _report(spec):
+    result = derive_protocol(spec)
+    return analyze(result), result
+
+
+@pytest.mark.parametrize("places", [2, 4, 8])
+def test_sequence_messages_per_hop(benchmark, places):
+    spec = workloads.pipeline(places, rounds=1)
+
+    def run():
+        report, _ = _report(spec)
+        assert report.total_messages == places - 1
+        assert report.violations() == []
+        return report
+
+    report = benchmark(run)
+    print(f"\n[pipeline n={places}] {report.per_rule()}")
+
+
+@pytest.mark.parametrize("places", [3, 5, 7])
+def test_parallel_multiplication(benchmark, places):
+    spec = workloads.fan_out_join(places)
+
+    def run():
+        report, _ = _report(spec)
+        # start >> (n-2 branches) >> join: each enable fans out.
+        assert report.per_rule()["enable"] == 2 * (places - 2)
+        return report
+
+    report = benchmark(run)
+    print(f"\n[fan-out/join n={places}] {report.per_rule()}")
+
+
+@pytest.mark.parametrize("alternatives", [2, 4, 8])
+def test_choice_bound(benchmark, alternatives):
+    spec = workloads.choice_ladder(alternatives)
+
+    def run():
+        report, result = _report(spec)
+        n = len(result.attrs.all_places)
+        for (rule, node), count in report.by_construct.items():
+            if rule == "choice":
+                assert count.sends <= bound_for("choice", n)
+        return report
+
+    report = benchmark(run)
+    print(f"\n[choice k={alternatives}] {report.per_rule()}")
+
+
+@pytest.mark.parametrize("places", [2, 3, 5])
+def test_disable_bound(benchmark, places):
+    spec = workloads.interrupt_stack(places)
+
+    def run():
+        report, result = _report(spec)
+        n = len(result.attrs.all_places)
+        per_rule = report.per_rule()
+        assert per_rule.get("rel", 0) <= n - 1
+        assert per_rule.get("interr", 0) <= n - 1
+        # The paper's total for one [>: 2n-3 under its assumptions;
+        # with an exit-continuation interrupt it is 2n-2.
+        assert per_rule.get("rel", 0) + per_rule.get("interr", 0) <= 2 * n - 2
+        return report
+
+    report = benchmark(run)
+    print(f"\n[interrupt n={places}] {report.per_rule()}")
+
+
+@pytest.mark.parametrize("length", [2, 4, 8])
+def test_process_invocation_bound(benchmark, length):
+    spec = workloads.process_chain(length)
+
+    def run():
+        report, result = _report(spec)
+        n = len(result.attrs.all_places)
+        for (rule, node), count in report.by_construct.items():
+            if rule == "proc":
+                assert count.sends <= n - 1
+        return report
+
+    report = benchmark(run)
+    print(f"\n[process chain k={length}] {report.per_rule()}")
+
+
+def test_example3_full_table(benchmark, example3_result):
+    def run():
+        return analyze(example3_result)
+
+    report = benchmark(run)
+    print("\n[Example 3] " + report.table().replace("\n", "\n[Example 3] "))
+    assert report.total_messages == 14

@@ -1,0 +1,56 @@
+"""E1 — specification-language front end throughput.
+
+Times the lexer+parser and the unparser over the paper's examples and
+over generated specifications of growing size, and asserts round-trip
+correctness inside the timed loop (a benchmark that silently corrupted
+its output would be worthless).
+"""
+
+import pytest
+
+from repro import workloads
+from repro.lotos.parser import parse
+from repro.lotos.unparse import unparse
+
+
+@pytest.mark.parametrize(
+    "name,text",
+    [
+        ("example2", workloads.EXAMPLE2_COUNTING),
+        ("example3", workloads.EXAMPLE3_FILE_TRANSFER),
+        ("transport", workloads.TRANSPORT_SESSION),
+    ],
+)
+def test_parse_paper_examples(benchmark, name, text):
+    spec = benchmark(parse, text)
+    assert spec.behaviour is not None
+
+
+@pytest.mark.parametrize("places,rounds", [(4, 2), (8, 4), (16, 8)])
+def test_parse_pipeline_scaling(benchmark, places, rounds):
+    text = unparse(workloads.pipeline(places, rounds))
+
+    def run():
+        return parse(text)
+
+    spec = benchmark(run)
+    assert spec is not None
+
+
+@pytest.mark.parametrize("alternatives", [4, 16, 64])
+def test_parse_choice_ladder_scaling(benchmark, alternatives):
+    text = unparse(workloads.choice_ladder(alternatives))
+    spec = benchmark(parse, text)
+    assert spec is not None
+
+
+def test_round_trip(benchmark):
+    text = workloads.TRANSPORT_SESSION
+
+    def round_trip():
+        spec = parse(text)
+        rendered = unparse(spec)
+        assert parse(rendered) == spec
+        return rendered
+
+    benchmark(round_trip)

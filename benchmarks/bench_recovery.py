@@ -1,0 +1,58 @@
+"""Section 6 extension — error recovery over an unreliable medium.
+
+Measures the cost of the ARQ recovery sublayer relative to the perfect
+medium, and the deadlock rate of derived protocols over raw loss (the
+reason the sublayer exists).
+"""
+
+import pytest
+
+from repro import workloads
+from repro.core.generator import derive_protocol
+from repro.medium.lossy import ArqMedium, LossyMedium
+from repro.runtime import build_system, random_run
+
+
+@pytest.fixture(scope="module")
+def pipeline_result():
+    return derive_protocol(workloads.pipeline(3, rounds=2))
+
+
+def test_reliable_baseline(benchmark, pipeline_result):
+    def run():
+        system = build_system(pipeline_result.entities)
+        result = random_run(system, seed=0, max_steps=5_000)
+        assert result.terminated
+        return result
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("loss_budget", [0, 2, 4])
+def test_arq_overhead(benchmark, pipeline_result, loss_budget):
+    def run():
+        system = build_system(
+            pipeline_result.entities, medium=ArqMedium(loss_budget=loss_budget)
+        )
+        result = random_run(system, seed=0, max_steps=20_000)
+        assert result.terminated
+        return result
+
+    result = benchmark(run)
+    print(f"\n[arq budget={loss_budget}] steps={result.steps}")
+
+
+def test_lossy_deadlock_rate(benchmark, pipeline_result):
+    def run():
+        deadlocks = 0
+        for seed in range(10):
+            system = build_system(
+                pipeline_result.entities, medium=LossyMedium(loss_budget=2)
+            )
+            if random_run(system, seed=seed, max_steps=500).deadlocked:
+                deadlocks += 1
+        assert deadlocks > 0
+        return deadlocks
+
+    deadlocks = benchmark(run)
+    print(f"\n[raw loss] {deadlocks}/10 schedules deadlock")

@@ -1,0 +1,92 @@
+"""Distributed-execution throughput: entities + medium under schedules.
+
+Not a paper artifact per se, but the substrate cost profile every other
+experiment rests on: how fast the composed system steps, how the two
+queue disciplines compare, and how occurrence tracking affects state
+churn.
+"""
+
+import pytest
+
+from repro import workloads
+from repro.core.generator import derive_protocol
+from repro.runtime import build_system, random_run
+from repro.runtime.executor import run_many
+
+
+@pytest.mark.parametrize("discipline", ["fifo", "selective"])
+def test_example3_schedule_throughput(benchmark, example3_result, discipline):
+    def run():
+        system = build_system(
+            example3_result.entities,
+            discipline=discipline,
+            require_empty_at_exit=False,
+        )
+        return run_many(system, runs=5, max_steps=400)
+
+    runs = benchmark(run)
+    assert all(not r.deadlocked for r in runs)
+
+
+def test_counting_protocol_deep_run(benchmark, example2_result):
+    def run():
+        system = build_system(example2_result.entities)
+        target = 30
+        done = [0]
+
+        def steer(state, transitions):
+            a1s = [i for i, (l, _) in enumerate(transitions) if str(l) == "a1"]
+            others = [i for i, (l, _) in enumerate(transitions) if str(l) != "a1"]
+            if a1s and done[0] < target:
+                done[0] += 1
+                return a1s[0]
+            if others:
+                return others[0]
+            done[0] += 1
+            return a1s[-1]
+
+        result = random_run(system, seed=1, max_steps=5_000, chooser=steer)
+        done[0] = 0
+        assert result.terminated
+        return result
+
+    run = benchmark(run)
+    names = [e.name for e in run.trace]
+    assert names.count("a") == names.count("b") >= 30
+
+
+@pytest.mark.parametrize("places", [3, 6, 9])
+def test_pipeline_throughput_scaling(benchmark, places):
+    result = derive_protocol(workloads.pipeline(places, rounds=3))
+
+    def run():
+        system = build_system(result.entities)
+        return random_run(system, seed=0, max_steps=5_000)
+
+    run_result = benchmark(run)
+    assert run_result.terminated
+
+
+@pytest.mark.parametrize("use_occurrences", [True, False])
+def test_occurrence_tracking_cost(benchmark, use_occurrences):
+    result = derive_protocol(workloads.recursion_tower(3))
+
+    def run():
+        system = build_system(result.entities, use_occurrences=use_occurrences)
+        return run_many(system, runs=5, max_steps=800)
+
+    runs = benchmark(run)
+    assert all(r.terminated or r.truncated for r in runs)
+
+
+def test_transport_sessions(benchmark, transport_result):
+    def run():
+        system = build_system(
+            transport_result.entities,
+            discipline="selective",
+            require_empty_at_exit=False,
+        )
+        return run_many(system, runs=5, max_steps=1_000)
+
+    runs = benchmark(run)
+    assert all(not r.deadlocked for r in runs)

@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures.
+
+Each benchmark module regenerates one of the paper's evaluation
+artifacts (see DESIGN.md's experiment index); the fixtures here cache the
+expensive derivations so timing loops measure only the operation under
+study.
+"""
+
+import pytest
+
+from repro import workloads
+from repro.core.generator import derive_protocol
+
+
+@pytest.fixture(scope="session")
+def example3_result():
+    return derive_protocol(workloads.EXAMPLE3_FILE_TRANSFER)
+
+
+@pytest.fixture(scope="session")
+def example2_result():
+    return derive_protocol(workloads.EXAMPLE2_COUNTING)
+
+
+@pytest.fixture(scope="session")
+def transport_result():
+    return derive_protocol(workloads.TRANSPORT_SESSION)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Non-regular behaviour: the (a)^n (b)^n counting service (Example 2).
+
+    SPEC A WHERE
+      PROC A = (a1; A >> b2; exit) [] (a1; b2; exit)
+    END ENDSPEC
+
+Every recursive descent into ``A`` stacks one pending ``b2`` behind the
+``>>``; the language of the service is { a1^n b2^n | n > 0 }, which no
+finite-state machine can express — this is the paper's showcase for why
+unrestricted recursion matters (earlier work [Boch 86, Khen 89] could
+not describe it).
+
+The derived protocol realizes the counting *distributedly*: entity 2
+mirrors the recursion stack of entity 1 purely through the order of the
+synchronization messages it receives.
+
+Run:  python examples/counting_protocol.py
+"""
+
+from collections import Counter
+
+from repro import derive_protocol, verify_derivation
+from repro.runtime import build_system, check_run, random_run
+
+SERVICE = """
+SPEC A WHERE
+  PROC A = (a1; A >> b2; exit) [] (a1; b2; exit)
+END ENDSPEC
+"""
+
+
+def main() -> None:
+    result = derive_protocol(SERVICE)
+    print(result.describe())
+
+    system = build_system(result.entities)
+    histogram: Counter = Counter()
+    for seed in range(80):
+        run = random_run(system, seed=seed, max_steps=800)
+        verdict = check_run(result.service, run)
+        assert verdict.ok, f"seed {seed}: {verdict}"
+        a_count = sum(1 for event in run.trace if event.name == "a")
+        b_count = sum(1 for event in run.trace if event.name == "b")
+        assert run.terminated and a_count == b_count and a_count >= 1, run
+        # The a's strictly precede the b's:
+        names = [event.name for event in run.trace]
+        assert names == ["a"] * a_count + ["b"] * b_count
+        histogram[a_count] += 1
+    print("observed n over 80 random schedules (trace = a^n b^n):")
+    for n in sorted(histogram):
+        print(f"  n = {n:>2}: {histogram[n]:>3} runs {'#' * histogram[n]}")
+
+    # Depth-bounded equivalence check (the state space is infinite, so
+    # the exact weak-bisimulation method cannot apply).
+    report = verify_derivation(result, trace_depth=7)
+    print(f"\nTheorem check: {report}")
+    assert report.equivalent
+
+
+if __name__ == "__main__":
+    main()

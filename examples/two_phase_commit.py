@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""A two-phase-commit-style service, twice: plain and with mixed choice.
+
+A coordinator (place 1) collects readiness from two participants
+(places 2 and 3), then either commits or aborts — a classic distributed
+control pattern expressed as a *service*, with the protocol that
+realizes it derived rather than designed:
+
+    SPEC begin1; ready2; ready3;
+         ( (commit1; apply2; apply3; done1; exit)
+        [] (abort1;  undo2;  undo3;  done1; exit) )
+    ENDSPEC
+
+The second variant lets participant 2 *veto* instead of the coordinator
+aborting — a choice whose alternatives start at different places, which
+the paper's restriction R1 forbids and the arbiter extension
+(`mixed_choice=True`) handles.
+
+Run:  python examples/two_phase_commit.py
+"""
+
+from repro import derive_protocol, verify_derivation
+from repro.core.complexity import analyze
+from repro.runtime import build_system, check_run, random_run
+
+PLAIN = """
+SPEC begin1; ready2; ready3;
+     ( (commit1; apply2; apply3; done1; exit)
+    [] (abort1;  undo2;  undo3;  done1; exit) )
+ENDSPEC
+"""
+
+WITH_VETO = """
+SPEC begin1; ready3;
+     ( (commit1; apply2; apply3; done1; exit)
+    [] (veto2;   undo3;  undo2;  done1; exit) )
+ENDSPEC
+"""
+
+
+def main() -> None:
+    # --- plain 2PC: fully inside the paper's restrictions -------------
+    result = derive_protocol(PLAIN)
+    print("Plain two-phase commit — derived entities:")
+    print(result.describe())
+    print(analyze(result).table())
+
+    system = build_system(result.entities)
+    outcomes = {"commit1": 0, "abort1": 0}
+    for seed in range(40):
+        run = random_run(system, seed=seed, max_steps=800)
+        assert run.terminated and check_run(result.service, run)
+        for event in run.trace:
+            name = str(event)
+            if name in outcomes:
+                outcomes[name] += 1
+    print(f"outcomes over 40 schedules: {outcomes}")
+
+    report = verify_derivation(result)
+    print(f"theorem check: {report}\n")
+    assert report.equivalent and report.congruent
+
+    # --- participant veto: needs the R1 relaxation --------------------
+    try:
+        derive_protocol(WITH_VETO)
+    except Exception as exc:
+        print(f"veto variant without the extension: {exc}")
+    veto = derive_protocol(WITH_VETO, mixed_choice=True)
+    print("\nVeto variant (mixed choice) — coordinator entity:")
+    print(veto.entity_text(1))
+
+    system = build_system(veto.entities)
+    outcomes = {"commit1": 0, "veto2": 0}
+    for seed in range(40):
+        run = random_run(system, seed=seed, max_steps=800)
+        assert run.terminated and check_run(veto.service, run), str(run)
+        for event in run.trace:
+            name = str(event)
+            if name in outcomes:
+                outcomes[name] += 1
+    print(f"outcomes over 40 schedules: {outcomes}")
+    assert outcomes["commit1"] and outcomes["veto2"]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+The execution environment has no network and no `wheel` package, so PEP
+660 editable installs fail; `python setup.py develop` (or `pip install -e .`
+on newer toolchains) both work.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro: protocol synthesis from LOTOS service specifications.
+
+A full reimplementation of the derivation algorithm of Kant, Higashino
+and v. Bochmann, *Deriving Protocol Specifications from Service
+Specifications Written in LOTOS* (the extended version of Bochmann &
+Gotzhein, SIGCOMM 1986), together with every substrate the paper relies
+on: the specification language and its operational semantics, the
+attribute grammar, the reliable FIFO medium, a distributed execution
+runtime, behavioural equivalences and the Section 5 correctness check.
+
+Quick start::
+
+    from repro import derive_protocol, verify_derivation
+
+    result = derive_protocol('''
+        SPEC a1; exit >> b2; exit ENDSPEC
+    ''')
+    print(result.describe())           # the two protocol entities
+    print(verify_derivation(result))   # EQUIVALENT (weak-bisimulation)
+"""
+
+from __future__ import annotations
+
+import sys
+
+# Behaviour expressions are recursively-defined immutable trees; the
+# states of a long execution (e.g. the a^n b^n service of the paper's
+# Example 2) nest ``>>`` contexts linearly in n, and structural
+# equality/hash walk them recursively.  Give CPython the headroom that
+# honest exploration of such state spaces needs.
+if sys.getrecursionlimit() < 50_000:
+    sys.setrecursionlimit(50_000)
+
+from repro.core.generator import (  # noqa: E402
+    DerivationResult,
+    ProtocolGenerator,
+    derive_protocol,
+)
+from repro.lotos.parser import parse, parse_behaviour  # noqa: E402
+from repro.lotos.unparse import unparse, unparse_behaviour  # noqa: E402
+from repro.runtime import build_system, check_run, random_run  # noqa: E402
+from repro.verification import verify_derivation  # noqa: E402
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DerivationResult",
+    "ProtocolGenerator",
+    "derive_protocol",
+    "parse",
+    "parse_behaviour",
+    "unparse",
+    "unparse_behaviour",
+    "build_system",
+    "check_run",
+    "random_run",
+    "verify_derivation",
+    "__version__",
+]

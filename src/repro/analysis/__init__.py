@@ -1,0 +1,32 @@
+"""Classic protocol-analysis checks.
+
+The paper's introduction situates protocol *synthesis* against protocol
+*analysis*: "analysis techniques have been developed to detect design
+errors, such as deadlocks, unspecified receptions and non-executable
+interactions, and to determine whether a given protocol satisfies a
+given service specification."  This subpackage provides that analysis
+tool-chest for any composed protocol system (derived or hand-written),
+so the synthesis results can be audited with the very techniques the
+paper says synthesis renders unnecessary — a useful cross-examination:
+correctly derived protocols come back clean, the baselines do not.
+
+Service satisfaction itself lives in :mod:`repro.verification`.
+"""
+
+from repro.analysis.protocol_checks import (
+    AnalysisReport,
+    BlockedReception,
+    DeadlockReport,
+    analyze_protocol,
+    analyze_system,
+    entity_automaton,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "BlockedReception",
+    "DeadlockReport",
+    "analyze_protocol",
+    "analyze_system",
+    "entity_automaton",
+]

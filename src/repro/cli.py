@@ -1,0 +1,275 @@
+"""``lotos-pg``: command-line Protocol Generator.
+
+The counterpart of the paper's Prolog PG prototype.  Reads a service
+specification (file or stdin), checks it, derives the protocol entity
+specification of every place, and optionally verifies the correctness
+theorem, reports message complexity, or executes random schedules::
+
+    lotos-pg service.lotos                      # derive all entities
+    lotos-pg service.lotos --place 2            # one entity
+    lotos-pg service.lotos --verify             # Section 5 check
+    lotos-pg service.lotos --complexity         # Section 4.3 counts
+    lotos-pg service.lotos --run 5              # execute 5 schedules
+    lotos-pg service.lotos --attributes         # SP/EP/AP table (Fig. 4)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.complexity import analyze
+from repro.core.generator import derive_protocol
+from repro.errors import ReproError
+from repro.lotos.unparse import unparse_behaviour
+from repro.runtime import build_system, check_run, random_run
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lotos-pg",
+        description="Derive protocol entity specifications from a LOTOS "
+        "service specification (Kant/Higashino/Bochmann algorithm).",
+    )
+    parser.add_argument(
+        "service",
+        help="path to the service specification, or '-' for stdin",
+    )
+    parser.add_argument(
+        "--place", type=int, default=None, help="derive only this place"
+    )
+    parser.add_argument(
+        "--raw",
+        action="store_true",
+        help="print the derivation before empty-elimination",
+    )
+    parser.add_argument(
+        "--full-messages",
+        action="store_true",
+        help="render occurrence parameters on messages (s2(s,8) style)",
+    )
+    parser.add_argument(
+        "--lenient",
+        action="store_true",
+        help="derive even when restrictions R1-R3 are violated",
+    )
+    parser.add_argument(
+        "--naive",
+        action="store_true",
+        help="naive projection baseline (no synchronization messages)",
+    )
+    parser.add_argument(
+        "--mixed-choice",
+        action="store_true",
+        help="lift restriction R1 for two-starter choices via the arbiter "
+        "protocol (trace-equivalent extension, see docs/algorithm.md)",
+    )
+    parser.add_argument(
+        "--attributes",
+        action="store_true",
+        help="print the SP/EP/AP attribute table (paper Fig. 4)",
+    )
+    parser.add_argument(
+        "--complexity",
+        action="store_true",
+        help="print per-construct message counts (paper Section 4.3)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="check the Section 5 theorem against the composed system",
+    )
+    parser.add_argument(
+        "--run",
+        type=int,
+        default=0,
+        metavar="N",
+        help="execute N random schedules through the FIFO medium",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--max-steps", type=int, default=10_000, help="step budget per run"
+    )
+    parser.add_argument(
+        "--msc",
+        action="store_true",
+        help="render one schedule as a message sequence chart",
+    )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="reachability analysis: deadlocks, blocked receptions, dead code",
+    )
+    parser.add_argument(
+        "--parameters",
+        action="store_true",
+        help="interaction-parameter data flow: which messages piggyback "
+        "which values ([Gotz 90] extension)",
+    )
+    parser.add_argument(
+        "--dot",
+        choices=["tree", "lts"],
+        default=None,
+        help="emit Graphviz DOT: the attributed derivation tree (Fig. 4) "
+        "or the service LTS",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    try:
+        text = (
+            sys.stdin.read()
+            if args.service == "-"
+            else open(args.service, encoding="utf-8").read()
+        )
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        result = derive_protocol(
+            text,
+            strict=not args.lenient,
+            emit_sync=not args.naive,
+            mixed_choice=args.mixed_choice,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    compact = not args.full_messages
+    if result.violations:
+        for violation in result.violations:
+            print(f"warning: {violation}", file=sys.stderr)
+
+    if args.attributes:
+        _print_attributes(result)
+
+    places = [args.place] if args.place is not None else result.places
+    raw_deriver = None
+    if args.raw:
+        from repro.core.derivation import Deriver
+        from repro.lotos.unparse import unparse
+
+        raw_deriver = Deriver(
+            result.prepared, result.attrs, emit_sync=not args.naive
+        )
+    for place in places:
+        if place not in result.entities:
+            print(f"error: place {place} not in {result.places}", file=sys.stderr)
+            return 1
+        print(f"-- Protocol entity for place {place} " + "-" * 24)
+        if raw_deriver is not None:
+            print(unparse(raw_deriver.derive_raw(place), compact=compact).rstrip())
+        else:
+            print(result.entity_text(place, compact=compact).rstrip())
+        print()
+
+    if args.complexity:
+        report = analyze(result)
+        print("-- Message complexity (Section 4.3) " + "-" * 12)
+        print(report.table())
+        print()
+
+    if args.run:
+        system = build_system(result.entities)
+        print(f"-- {args.run} random schedule(s) " + "-" * 24)
+        for offset in range(args.run):
+            run = random_run(
+                system, seed=args.seed + offset, max_steps=args.max_steps
+            )
+            verdict = check_run(result.service, run)
+            print(f"seed {args.seed + offset}: {run}  messages={run.messages_sent}  "
+                  f"conformance={'ok' if verdict.ok else 'VIOLATION'}")
+        print()
+
+    if args.msc:
+        from repro.runtime.msc import record_schedule
+
+        system = build_system(
+            result.entities,
+            hide=False,
+            discipline="selective",
+            require_empty_at_exit=False,
+        )
+        print("-- Message sequence chart " + "-" * 24)
+        print(record_schedule(system, seed=args.seed, max_steps=args.max_steps).render())
+        print()
+
+    if args.analyze:
+        from repro.analysis import analyze_protocol
+
+        print("-- Reachability analysis " + "-" * 24)
+        print(
+            analyze_protocol(
+                result.entities,
+                discipline="selective",
+                use_occurrences=False,
+            ).render()
+        )
+        print()
+
+    if args.parameters:
+        from repro.core.dataflow import analyze_parameters
+
+        print("-- Interaction parameters ([Gotz 90]) " + "-" * 12)
+        print(analyze_parameters(result).render())
+        print()
+
+    if args.dot == "tree":
+        from repro.lotos.dot import syntax_tree_to_dot
+
+        print(syntax_tree_to_dot(result.prepared, result.attrs))
+    elif args.dot == "lts":
+        from repro.lotos.dot import lts_to_dot
+        from repro.lotos.lts import build_lts
+        from repro.lotos.semantics import Semantics
+
+        semantics, root = Semantics.of_specification(
+            result.prepared, bind_occurrences=False
+        )
+        lts = build_lts(root, semantics, max_states=2_000, on_limit="truncate")
+        print(lts_to_dot(lts))
+
+    if args.verify:
+        from repro.verification import verify_derivation
+
+        print("-- Theorem check (Section 5) " + "-" * 20)
+        print(verify_derivation(result))
+    return 0
+
+
+def _print_attributes(result) -> None:
+    print("-- Attributes (Section 4.1) " + "-" * 20)
+    print(f"ALL = {sorted(result.attrs.all_places)}")
+    for name, attrs in sorted(result.attrs.by_process.items()):
+        print(
+            f"process {name}: SP={sorted(attrs.sp)} EP={sorted(attrs.ep)} "
+            f"AP={sorted(attrs.ap)}"
+        )
+    shown = 0
+    for node in result.prepared.walk_behaviours():
+        if node.nid is None:
+            continue
+        attrs = result.attrs.by_node.get(node.nid)
+        if attrs is None:
+            continue
+        rendering = unparse_behaviour(node)
+        if len(rendering) > 48:
+            rendering = rendering[:45] + "..."
+        print(
+            f"  N={node.nid:<3} SP={sorted(attrs.sp)!s:<10} "
+            f"EP={sorted(attrs.ep)!s:<10} AP={sorted(attrs.ap)!s:<12} {rendering}"
+        )
+        shown += 1
+        if shown > 200:
+            print("  ... (truncated)")
+            break
+    print()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

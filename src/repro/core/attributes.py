@@ -1,0 +1,284 @@
+"""Node numbering and synthesized-attribute evaluation (paper Section 4.1).
+
+Three attributes are synthesized for every node ``x`` of the service
+syntax tree (paper Table 2):
+
+``SP(x)``
+    the *Starting Places* — places where ``x`` is initiated;
+``EP(x)``
+    the *Ending Places* — places where the last actions of ``x`` execute;
+``AP(x)``
+    *All Places* involved in ``x``.
+
+plus the specification-wide attribute ``ALL`` (the ``AP`` of the start
+symbol) and the node-numbering attribute ``N`` — "an integer obtained by
+numbering the nodes of the tree in a preorder traversal scheme".
+
+Process references make the attribute equations recursive; following the
+paper, they are solved by fixed-point iteration: all process attributes
+start at the empty set, each pass re-synthesizes every definition
+bottom-up, and "the iteration terminates when the attribute values of all
+process root nodes have not changed during the last step" (the equations
+are monotone over a finite lattice, so termination is guaranteed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, NamedTuple
+
+from repro.errors import AttributeEvaluationError
+from repro.lotos.events import ServicePrimitive
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Behaviour,
+    Choice,
+    DefBlock,
+    Disable,
+    Empty,
+    Enable,
+    Exit,
+    Hide,
+    Parallel,
+    ProcessDefinition,
+    ProcessRef,
+    Specification,
+    Stop,
+)
+
+Places = FrozenSet[int]
+EMPTY_PLACES: Places = frozenset()
+
+
+class Attrs(NamedTuple):
+    """The (SP, EP, AP) triple of one syntax-tree node."""
+
+    sp: Places
+    ep: Places
+    ap: Places
+
+    @staticmethod
+    def empty() -> "Attrs":
+        return Attrs(EMPTY_PLACES, EMPTY_PLACES, EMPTY_PLACES)
+
+    @staticmethod
+    def single(place: int) -> "Attrs":
+        places = frozenset([place])
+        return Attrs(places, places, places)
+
+
+def number_nodes(spec: Specification, start: int = 1) -> Specification:
+    """Assign preorder node numbers ``N`` to every behaviour node.
+
+    The traversal order is: main behaviour expression first, then each
+    process definition in textual order — the same order
+    :meth:`Specification.walk_behaviours` uses.  Numbering rebuilds the
+    (immutable) tree; every node's ``nid`` is unique within the result.
+    Existing ``nid`` values are overwritten.
+    """
+    counter = [start]
+
+    def renumber(node: Behaviour) -> Behaviour:
+        nid = counter[0]
+        counter[0] += 1
+        children = node.children()
+        new_children = tuple(renumber(child) for child in children)
+        if isinstance(node, ProcessRef):
+            # The invocation site is the node's own number: it seeds the
+            # occurrence paths of the instances created here.
+            return ProcessRef(node.name, site=nid, occurrence=node.occurrence, nid=nid)
+        rebuilt = node.with_children(new_children) if children else node
+        return _with_nid(rebuilt, nid)
+
+    def renumber_block(block: DefBlock) -> DefBlock:
+        behaviour = renumber(block.behaviour)
+        definitions = tuple(
+            ProcessDefinition(d.name, renumber_block(d.body)) for d in block.definitions
+        )
+        return DefBlock(behaviour, definitions)
+
+    return Specification(renumber_block(spec.root))
+
+
+def _with_nid(node: Behaviour, nid: int) -> Behaviour:
+    # dataclasses.replace would re-run __init__ with all fields; this is
+    # the same thing, spelled per concrete class via with_children.
+    import dataclasses
+
+    return dataclasses.replace(node, nid=nid)
+
+
+@dataclass
+class AttributeTable:
+    """Evaluated attributes for a numbered specification.
+
+    ``by_node`` maps node numbers to :class:`Attrs`; ``by_process`` maps
+    process names to the attributes of their bodies (the solution of the
+    recursive equations); ``all_places`` is the paper's ``ALL``.
+    """
+
+    by_node: Dict[int, Attrs] = field(default_factory=dict)
+    by_process: Dict[str, Attrs] = field(default_factory=dict)
+    all_places: Places = EMPTY_PLACES
+    iterations: int = 0
+
+    def of(self, node: Behaviour) -> Attrs:
+        """Attributes of a numbered node."""
+        if node.nid is None:
+            raise AttributeEvaluationError(
+                "node has no number; run number_nodes before evaluate_attributes"
+            )
+        try:
+            return self.by_node[node.nid]
+        except KeyError as exc:
+            raise AttributeEvaluationError(
+                f"node {node.nid} is not in the attribute table"
+            ) from exc
+
+    def sp(self, node: Behaviour) -> Places:
+        return self.of(node).sp
+
+    def ep(self, node: Behaviour) -> Places:
+        return self.of(node).ep
+
+    def ap(self, node: Behaviour) -> Places:
+        return self.of(node).ap
+
+
+#: Upper bound on fixed-point passes; the lattice height is
+#: 3 * |processes| * |places|, so this is never the binding constraint
+#: for sane inputs but protects against bugs.
+MAX_ITERATIONS = 10_000
+
+
+def evaluate_attributes(spec: Specification) -> AttributeTable:
+    """Synthesize SP/EP/AP for every node of a numbered, flat spec.
+
+    Implements Table 2 plus the fixed-point treatment of rule 18 (process
+    references).  The specification must have been produced by
+    :func:`number_nodes` (every node carries a unique ``nid``) and be
+    flat (single WHERE level), which
+    :func:`repro.lotos.scope.flatten_spec` guarantees.
+    """
+    table = AttributeTable()
+    definitions = spec.definitions
+    for definition in definitions:
+        if definition.body.definitions:
+            raise AttributeEvaluationError(
+                "evaluate_attributes expects a flattened specification"
+            )
+        table.by_process[definition.name] = Attrs.empty()
+
+    # Fixed-point iteration over the process attribute variables.
+    for iteration in range(MAX_ITERATIONS):
+        changed = False
+        for definition in definitions:
+            synthesized = _synthesize(definition.body.behaviour, table, record=False)
+            if synthesized != table.by_process[definition.name]:
+                table.by_process[definition.name] = synthesized
+                changed = True
+        table.iterations = iteration + 1
+        if not changed:
+            break
+    else:  # pragma: no cover - MAX_ITERATIONS is far above lattice height
+        raise AttributeEvaluationError("attribute fixed point did not converge")
+
+    # Final recording pass now that the variables are stable.
+    root_attrs = _synthesize(spec.root.behaviour, table, record=True)
+    for definition in definitions:
+        _synthesize(definition.body.behaviour, table, record=True)
+    table.all_places = root_attrs.ap
+    return table
+
+
+def _synthesize(node: Behaviour, table: AttributeTable, record: bool) -> Attrs:
+    attrs = _synthesize_node(node, table, record)
+    if record:
+        if node.nid is None:
+            raise AttributeEvaluationError(
+                "node has no number; run number_nodes before evaluate_attributes"
+            )
+        table.by_node[node.nid] = attrs
+    return attrs
+
+
+def _synthesize_node(node: Behaviour, table: AttributeTable, record: bool) -> Attrs:
+    if isinstance(node, (Exit, Stop, Empty)):
+        # ``exit`` contributes no places of its own: rule 17 gives the
+        # prefix ``a_p; exit`` the places of its event, which the
+        # ActionPrefix case below reconstructs from an empty Attrs here.
+        return Attrs.empty()
+    if isinstance(node, ActionPrefix):
+        event = node.event
+        if not isinstance(event, ServicePrimitive):
+            # Internal actions and send/receive interactions have no
+            # service place.  They are illegal in service specifications —
+            # the restriction checker reports them — but attribute
+            # evaluation stays total so that the checker gets to run:
+            # the prefix is transparent for the attributes.
+            tail = _synthesize(node.continuation, table, record)
+            return tail
+        here = frozenset([event.place])
+        tail = _synthesize(node.continuation, table, record)
+        # Rule 17 (``Event; exit``): the event is the last action, so
+        # EP = {place}.  Rule 16 (``Event; Seq``): EP = EP(Seq), copied
+        # *even while it is still the empty set* during fixed-point
+        # iteration — the distinction must stay syntactic (is the
+        # continuation literally exit/stop?), not "is EP(Seq) empty yet?",
+        # or the equations stop being monotone and cyclic process graphs
+        # (A calls B calls C calls A) never converge.
+        if isinstance(node.continuation, (Exit, Stop)):
+            ep = here
+        else:
+            ep = tail.ep
+        return Attrs(here, ep, here | tail.ap)
+    if isinstance(node, Choice):
+        left = _synthesize(node.left, table, record)
+        right = _synthesize(node.right, table, record)
+        # Table 2 states SP(left) = SP(right) and EP(left) = EP(right)
+        # (restrictions R1/R2); the union is the conservative reading for
+        # not-yet-checked input — the restriction checker reports
+        # violations before any derivation happens.
+        return Attrs(left.sp | right.sp, left.ep | right.ep, left.ap | right.ap)
+    if isinstance(node, Parallel):
+        left = _synthesize(node.left, table, record)
+        right = _synthesize(node.right, table, record)
+        return Attrs(left.sp | right.sp, left.ep | right.ep, left.ap | right.ap)
+    if isinstance(node, Enable):
+        left = _synthesize(node.left, table, record)
+        right = _synthesize(node.right, table, record)
+        return Attrs(left.sp, right.ep, left.ap | right.ap)
+    if isinstance(node, Disable):
+        left = _synthesize(node.left, table, record)
+        right = _synthesize(node.right, table, record)
+        # Rule 91: SP(Dis) = SP(Par) ∪ SP(Mc); EP(Dis) = EP(Par) = EP(Mc)
+        # under restriction R2 — union again for unchecked input.
+        return Attrs(left.sp | right.sp, left.ep | right.ep, left.ap | right.ap)
+    if isinstance(node, ProcessRef):
+        process = table.by_process.get(node.name)
+        if process is None:
+            raise AttributeEvaluationError(f"undefined process {node.name!r}")
+        return process
+    if isinstance(node, Hide):
+        # Not part of the service language (the checker rejects it);
+        # transparent for attribute purposes.
+        return _synthesize(node.body, table, record)
+    raise AttributeEvaluationError(
+        f"no attribute rule for node type {type(node).__name__}"
+    )
+
+
+def places_of(spec: Specification) -> Places:
+    """All places mentioned by service primitives anywhere in the spec.
+
+    This is a purely syntactic helper; the paper's ``ALL`` is the ``AP``
+    of the root (unreachable definitions do not count) — use
+    :attr:`AttributeTable.all_places` for that.
+    """
+    places = set()
+    for node in spec.walk_behaviours():
+        if isinstance(node, ActionPrefix) and isinstance(
+            node.event, ServicePrimitive
+        ):
+            places.add(node.event.place)
+    return frozenset(places)

@@ -1,0 +1,217 @@
+"""The centralized "trivial solution" baseline (paper Section 3).
+
+    "If we assume the existence of a central controller (a server PE), we
+    can derive a trivial solution where only one PE (the server PE) has a
+    copy of the given service specification and it informs all other PE's
+    (client PE's) when each action should be executed by exchanging
+    messages [...] Although this solution is simple, such a centralized
+    control method requires many synchronization messages and the load
+    for the server PE becomes large."
+
+This module builds exactly that protocol so the paper's motivating
+comparison (experiment E10) can be measured rather than asserted:
+
+* the **server** (by default the smallest place) keeps the whole service
+  structure; every remote primitive ``a_q`` becomes the exchange
+  ``s_q(exec,N); r_q(done,N)``;
+* every **client** runs one loop: receive an ``exec``, perform the named
+  local primitive, return ``done`` — terminated by a ``halt`` broadcast
+  after the service behaviour completes.
+
+Caveats, deliberate for a baseline: choices between alternatives starting
+at different... (in fact *any* choice) are resolved by the server — the
+users' ability to drive a choice locally is lost, which is one of the
+reasons the paper rejects this design.  Message occurrences are fixed at
+the root path (the server serializes instances, so instance ambiguity
+cannot arise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.attributes import evaluate_attributes, number_nodes
+from repro.core.generator import _expand_full_sync
+from repro.errors import DerivationError
+from repro.lotos.events import (
+    ReceiveAction,
+    SendAction,
+    ServicePrimitive,
+    SyncMessage,
+)
+from repro.lotos.parser import parse
+from repro.lotos.scope import flatten_spec
+from repro.lotos.expansion import transform_disable_operands
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Behaviour,
+    Choice,
+    DefBlock,
+    Enable,
+    Exit,
+    Parallel,
+    ProcessDefinition,
+    ProcessRef,
+    Specification,
+)
+
+#: The halt broadcast closing every client loop.
+HALT = SyncMessage(node=0, occurrence=(), kind="halt")
+
+CLIENT_PROCESS = "Client"
+
+
+@dataclass
+class CentralizedResult:
+    """Entities of the centralized protocol (same shape as the PG's)."""
+
+    server: int
+    entities: Dict[int, Specification]
+    places: Tuple[int, ...]
+
+
+def derive_centralized(
+    service: Union[str, Specification], server: Optional[int] = None
+) -> CentralizedResult:
+    """Build the server/clients protocol for ``service``."""
+    spec = parse(service) if isinstance(service, str) else service
+    prepared = number_nodes(
+        transform_disable_operands(_expand_full_sync(flatten_spec(spec)))
+    )
+    attrs = evaluate_attributes(prepared)
+    places = tuple(sorted(attrs.all_places))
+    if not places:
+        raise DerivationError("service involves no places")
+    chosen_server = server if server is not None else places[0]
+    if chosen_server not in places:
+        raise DerivationError(f"server {chosen_server} is not one of {places}")
+
+    entities: Dict[int, Specification] = {
+        chosen_server: _server_spec(prepared, chosen_server, places)
+    }
+    for place in places:
+        if place != chosen_server:
+            entities[place] = _client_spec(prepared, place, chosen_server)
+    return CentralizedResult(chosen_server, entities, places)
+
+
+# ----------------------------------------------------------------------
+def _server_spec(
+    prepared: Specification, server: int, places: Tuple[int, ...]
+) -> Specification:
+    root = _serverize(prepared.root.behaviour, server)
+    clients = [place for place in places if place != server]
+    if clients:
+        root = Enable(root, _halt_broadcast(clients))
+    definitions = tuple(
+        ProcessDefinition(d.name, DefBlock(_serverize(d.body.behaviour, server)))
+        for d in prepared.definitions
+    )
+    return Specification(DefBlock(root, definitions))
+
+
+def _serverize(node: Behaviour, server: int) -> Behaviour:
+    if isinstance(node, ActionPrefix):
+        event = node.event
+        continuation = _serverize(node.continuation, server)
+        if not isinstance(event, ServicePrimitive):
+            raise DerivationError(f"unexpected event {event} in service")
+        if event.place == server:
+            return ActionPrefix(event, continuation)
+        nid = node.nid or 0
+        exec_message = SyncMessage(node=nid, occurrence=(), kind="exec")
+        done_message = SyncMessage(node=nid, occurrence=(), kind="done")
+        return ActionPrefix(
+            SendAction(dest=event.place, message=exec_message),
+            ActionPrefix(
+                ReceiveAction(src=event.place, message=done_message), continuation
+            ),
+        )
+    if isinstance(node, ProcessRef):
+        return ProcessRef(node.name, site=node.site, nid=node.nid)
+    if isinstance(node, Parallel) and (node.sync or node.sync_all):
+        raise DerivationError(
+            "the centralized baseline cannot express rendezvous "
+            "synchronization between remote users (|[G]| with a non-empty "
+            "set); this is one more reason the paper's distributed "
+            "derivation is preferable"
+        )
+    children = node.children()
+    if not children:
+        return node
+    return node.with_children(
+        tuple(_serverize(child, server) for child in children)
+    )
+
+
+def _halt_broadcast(clients: List[int]) -> Behaviour:
+    sends: Behaviour = ActionPrefix(
+        SendAction(dest=clients[-1], message=HALT), Exit()
+    )
+    for client in reversed(clients[:-1]):
+        sends = Parallel(ActionPrefix(SendAction(dest=client, message=HALT), Exit()), sends)
+    return sends
+
+
+# ----------------------------------------------------------------------
+def _client_spec(
+    prepared: Specification, place: int, server: int
+) -> Specification:
+    """``Client = ( []_N r_c(exec,N); a_p; s_c(done,N); Client ) [] r_c(halt); exit``."""
+    commands = _local_primitives(prepared, place)
+    alternatives: List[Behaviour] = []
+    for nid, primitive in commands:
+        exec_message = SyncMessage(node=nid, occurrence=(), kind="exec")
+        done_message = SyncMessage(node=nid, occurrence=(), kind="done")
+        alternatives.append(
+            ActionPrefix(
+                ReceiveAction(src=server, message=exec_message),
+                ActionPrefix(
+                    primitive,
+                    ActionPrefix(
+                        SendAction(dest=server, message=done_message),
+                        ProcessRef(CLIENT_PROCESS, site=0),
+                    ),
+                ),
+            )
+        )
+    alternatives.append(
+        ActionPrefix(ReceiveAction(src=server, message=HALT), Exit())
+    )
+    body = alternatives[-1]
+    for alternative in reversed(alternatives[:-1]):
+        body = Choice(alternative, body)
+    return Specification(
+        DefBlock(
+            ProcessRef(CLIENT_PROCESS, site=0),
+            (ProcessDefinition(CLIENT_PROCESS, DefBlock(body)),),
+        )
+    )
+
+
+def _local_primitives(
+    prepared: Specification, place: int
+) -> List[Tuple[int, ServicePrimitive]]:
+    """(node, primitive) pairs of every occurrence at ``place``."""
+    found: List[Tuple[int, ServicePrimitive]] = []
+    for node in prepared.walk_behaviours():
+        if isinstance(node, ActionPrefix) and isinstance(
+            node.event, ServicePrimitive
+        ):
+            if node.event.place == place:
+                found.append((node.nid or 0, node.event))
+    return found
+
+
+def static_message_count(result: CentralizedResult, prepared: Specification) -> int:
+    """Messages per *single pass* over the service text: 2 per remote
+    primitive occurrence plus the final halt broadcast."""
+    remote = 0
+    for node in prepared.walk_behaviours():
+        if isinstance(node, ActionPrefix) and isinstance(
+            node.event, ServicePrimitive
+        ):
+            if node.event.place != result.server:
+                remote += 1
+    return 2 * remote + (len(result.places) - 1)

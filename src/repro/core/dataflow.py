@@ -1,0 +1,220 @@
+"""Interaction-parameter data flow (the [Gotz 90] extension, Section 6).
+
+    "The extension of the algorithm presented in this paper to service
+    and protocol specifications with interaction parameters may be
+    pursued along the lines described in [Gotz 90].  This implies the
+    addition of supplementary parameters to the synchronization messages
+    and, in some cases, additional message exchanges between different
+    places."
+
+This module computes exactly those two facts for a derived protocol:
+
+* which values each synchronization message must **piggyback** so every
+  consuming primitive finds its parameters locally available, and
+* which consumers **cannot** be served by the existing message structure
+  (the "additional message exchanges" case).
+
+Scope: parameters are opaque names (``read1(rec)``); the first textual
+occurrence of a name *produces* the value, later occurrences *consume*
+it.  Knowledge propagation follows the synchronization skeleton in node
+order — exact for sequence-structured flow (``;``/``>>``/process
+chains), conservative for parallel branches, and per-branch for choices
+(a value produced in one alternative is not assumed in the other).  The
+analysis is a *planning report*: it does not alter the derived entities
+or the runtime (whose messages stay pure synchronization tokens, as in
+the base paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.derivation import Deriver, LedgerEntry
+from repro.core.generator import DerivationResult
+from repro.lotos.events import ServicePrimitive
+from repro.lotos.syntax import ActionPrefix, Choice
+
+
+@dataclass(frozen=True)
+class ParameterUse:
+    """One occurrence of a parameter at a primitive."""
+
+    variable: str
+    place: int
+    node: int
+    event: str
+
+
+@dataclass
+class MessagePayload:
+    """Values one synchronization message must carry."""
+
+    rule: str
+    node: int
+    sender: int
+    receivers: FrozenSet[int]
+    variables: Set[str] = field(default_factory=set)
+
+    def __str__(self) -> str:
+        to = ",".join(str(r) for r in sorted(self.receivers))
+        carried = ",".join(sorted(self.variables)) or "-"
+        return f"message N={self.node} {self.sender}->{{{to}}} carries [{carried}]"
+
+
+@dataclass
+class ParameterReport:
+    """Outcome of the data-flow analysis."""
+
+    producers: Dict[str, ParameterUse] = field(default_factory=dict)
+    consumers: List[ParameterUse] = field(default_factory=list)
+    payloads: List[MessagePayload] = field(default_factory=list)
+    #: Consumers whose value never reaches their place through the
+    #: existing synchronization structure — the paper's "additional
+    #: message exchanges" case.
+    unreachable: List[ParameterUse] = field(default_factory=list)
+
+    @property
+    def satisfied(self) -> bool:
+        return not self.unreachable
+
+    def payload_of(self, node: int, sender: int) -> Optional[MessagePayload]:
+        for payload in self.payloads:
+            if payload.node == node and payload.sender == sender:
+                return payload
+        return None
+
+    def render(self) -> str:
+        lines = [
+            f"parameters          : {len(self.producers)}",
+            f"consumer occurrences: {len(self.consumers)}",
+            f"annotated messages  : "
+            f"{sum(1 for p in self.payloads if p.variables)}"
+            f" of {len(self.payloads)}",
+            f"unreachable         : {len(self.unreachable)}",
+        ]
+        for payload in self.payloads:
+            if payload.variables:
+                lines.append(f"  {payload}")
+        for use in self.unreachable:
+            lines.append(
+                f"  UNREACHABLE: {use.variable} needed by {use.event} at "
+                f"place {use.place} (extra message exchange required)"
+            )
+        return "\n".join(lines)
+
+
+def _parameter_uses(result: DerivationResult) -> List[ParameterUse]:
+    """All parameter occurrences in service-tree node order."""
+    uses: List[ParameterUse] = []
+    for node in result.prepared.walk_behaviours():
+        if isinstance(node, ActionPrefix) and isinstance(
+            node.event, ServicePrimitive
+        ):
+            for variable in node.event.params:
+                uses.append(
+                    ParameterUse(
+                        variable, node.event.place, node.nid or 0, str(node.event)
+                    )
+                )
+    uses.sort(key=lambda use: use.node)
+    return uses
+
+
+def _choice_scopes(result: DerivationResult) -> List[Tuple[int, int, int, int]]:
+    """(left_start, left_end, right_start, right_end) node ranges per choice.
+
+    Node numbering is preorder, so a subtree occupies a contiguous nid
+    range; knowledge acquired inside one alternative must not leak into
+    the other.
+    """
+    scopes = []
+    for node in result.prepared.walk_behaviours():
+        if isinstance(node, Choice):
+            left_ids = [n.nid for n in node.left.walk() if n.nid is not None]
+            right_ids = [n.nid for n in node.right.walk() if n.nid is not None]
+            if left_ids and right_ids:
+                scopes.append(
+                    (min(left_ids), max(left_ids), min(right_ids), max(right_ids))
+                )
+    return scopes
+
+
+def analyze_parameters(result: DerivationResult) -> ParameterReport:
+    """Compute message payloads and unreachable consumers.
+
+    The simulation walks events and ledger messages merged in node
+    order; a message carries every value its sender knows that is still
+    *live* (some later consumer exists whose place might lack it).
+    Choice alternatives are separated: a value produced inside one
+    alternative is consumable only within that alternative's node range.
+    """
+    report = ParameterReport()
+    uses = _parameter_uses(result)
+    if not uses:
+        return report
+
+    deriver = Deriver(result.prepared, result.attrs)
+    for place in sorted(result.attrs.all_places):
+        deriver.derive(place)
+    sends = [entry for entry in deriver.ledger if entry.role == "send"]
+    scopes = _choice_scopes(result)
+
+    for use in uses:
+        if use.variable not in report.producers:
+            report.producers[use.variable] = use
+        else:
+            report.consumers.append(use)
+
+    def same_branch(node_a: int, node_b: int) -> bool:
+        """False when the two nodes sit in opposite choice alternatives."""
+        for left_low, left_high, right_low, right_high in scopes:
+            a_left = left_low <= node_a <= left_high
+            b_left = left_low <= node_b <= left_high
+            a_right = right_low <= node_a <= right_high
+            b_right = right_low <= node_b <= right_high
+            if (a_left and b_right) or (a_right and b_left):
+                return False
+        return True
+
+    live_after: Dict[str, int] = {}
+    for use in report.consumers:
+        live_after[use.variable] = max(
+            live_after.get(use.variable, 0), use.node
+        )
+
+    # Merge events and message sends in node order (events first at ties:
+    # the prefix fires before the messages its rule generates).
+    timeline: List[Tuple[int, int, object]] = [
+        (use.node, 0, use) for use in uses
+    ] + [(entry.node, 1, entry) for entry in sends]
+    timeline.sort(key=lambda item: (item[0], item[1]))
+
+    knowledge: Dict[int, Dict[str, int]] = {
+        place: {} for place in result.attrs.all_places
+    }  # place -> variable -> producing node (for branch checks)
+
+    for node, _kind, item in timeline:
+        if isinstance(item, ParameterUse):
+            producer = report.producers[item.variable]
+            if producer.node == item.node:
+                knowledge[item.place][item.variable] = item.node
+            else:
+                known_at = knowledge[item.place].get(item.variable)
+                if known_at is None or not same_branch(known_at, item.node):
+                    report.unreachable.append(item)
+        else:
+            entry: LedgerEntry = item
+            payload = MessagePayload(
+                entry.rule, entry.node, entry.place, entry.peers
+            )
+            for variable, origin in knowledge[entry.place].items():
+                if not same_branch(origin, entry.node):
+                    continue
+                if live_after.get(variable, 0) <= entry.node:
+                    continue  # no consumer remains: not live
+                payload.variables.add(variable)
+                for receiver in entry.peers:
+                    knowledge[receiver].setdefault(variable, origin)
+            report.payloads.append(payload)
+    return report

@@ -1,0 +1,26 @@
+"""The naive-projection baseline: structure without synchronization.
+
+Selecting "the proper actions for each place, within a global service
+expression, without taking into account the need of synchronization would
+be a trivial task" (paper Section 3) — and produces a protocol that does
+not implement the service: nothing stops place 2 from executing ``b2``
+before place 1 has executed ``a1`` in ``a1; exit >> b2; exit``.
+
+The baseline is literally the Protocol Generator with message emission
+switched off; it exists so tests and benchmarks can *demonstrate* that
+every class of synchronization message earns its keep (experiment E5).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.generator import DerivationResult, ProtocolGenerator
+from repro.lotos.syntax import Specification
+
+
+def derive_naive(
+    service: Union[str, Specification], strict: bool = True
+) -> DerivationResult:
+    """Projection onto places with no synchronization messages at all."""
+    return ProtocolGenerator(strict=strict, emit_sync=False).derive(service)

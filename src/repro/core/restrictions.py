@@ -1,0 +1,268 @@
+"""Service-specification admissibility checks (paper Sections 2, 3.2, 3.3).
+
+The Protocol Generator "checks the syntax of the given service
+specification and its conformance to the restrictions R1, R2 and R3"::
+
+    R1  (choice)   SP(e1) = SP(e2) = {p} for some single place p
+    R2  (choice,   EP(e1) = EP(e2)
+         disable)
+    R3  (disable)  SP(e2) ⊆ EP(e1)
+
+plus the grammar-level conditions: only service primitives as events (no
+send/receive interactions, no internal action), no hiding, and every
+disable operand in action prefix form.
+
+As in the paper, "no automatic decision is taken, nor any suggestion is
+given on how the user has to proceed" — violations are reported, and the
+generator refuses to derive in strict mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.core.attributes import AttributeTable
+from repro.errors import RestrictionViolation
+from repro.lotos.events import ServicePrimitive
+from repro.lotos.expansion import is_action_prefix_form
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Behaviour,
+    Choice,
+    Disable,
+    Empty,
+    Enable,
+    Hide,
+    Parallel,
+    ProcessRef,
+    Specification,
+    Stop,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One admissibility violation, attached to a numbered node."""
+
+    rule: str
+    node: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.rule} at node {self.node}: {self.message}"
+
+
+def check_service(spec: Specification, attrs: AttributeTable) -> List[Violation]:
+    """All violations of a numbered, flattened service specification."""
+    violations: List[Violation] = []
+    for behaviour in spec.walk_behaviours():
+        violations.extend(_check_node(behaviour, attrs))
+    violations.extend(_check_guardedness(spec))
+    return violations
+
+
+def check_1986_subset(spec: Specification) -> List[Violation]:
+    """Restrict to the original SIGCOMM 1986 language ([Boch 86]).
+
+    The 1986 algorithm handled only action prefix, choice and pure
+    interleaving — no ``>>``, ``[>``, rendezvous parallelism or process
+    invocation (those arrived with [Khen 89] and this paper).  The
+    subset mode documents exactly how much the extension buys.
+    """
+    violations: List[Violation] = []
+    for node in spec.walk_behaviours():
+        nid = node.nid if node.nid is not None else -1
+        if isinstance(node, Enable):
+            violations.append(
+                Violation("1986", nid, "'>>' requires the extended algorithm")
+            )
+        elif isinstance(node, Disable):
+            violations.append(
+                Violation("1986", nid, "'[>' requires the extended algorithm")
+            )
+        elif isinstance(node, Parallel) and not node.is_interleaving():
+            violations.append(
+                Violation(
+                    "1986",
+                    nid,
+                    "rendezvous parallelism requires the extended algorithm",
+                )
+            )
+        elif isinstance(node, ProcessRef):
+            violations.append(
+                Violation(
+                    "1986",
+                    nid,
+                    "process invocation requires the extended algorithm "
+                    "([Khen 89] and later)",
+                )
+            )
+    return violations
+
+
+def raise_on_violations(violations: List[Violation]) -> None:
+    if violations:
+        summary = "; ".join(str(v) for v in violations[:5])
+        if len(violations) > 5:
+            summary += f" (+{len(violations) - 5} more)"
+        raise RestrictionViolation(violations[0].rule, summary)
+
+
+def _check_node(node: Behaviour, attrs: AttributeTable) -> List[Violation]:
+    nid = node.nid if node.nid is not None else -1
+    violations: List[Violation] = []
+    if isinstance(node, Hide):
+        violations.append(
+            Violation("GRAMMAR", nid, "hiding is not supported in service specs")
+        )
+        return violations
+    if isinstance(node, (Stop, Empty)):
+        violations.append(
+            Violation(
+                "GRAMMAR",
+                nid,
+                f"'{type(node).__name__.lower()}' is not part of the service "
+                "language (Table 1)",
+            )
+        )
+        return violations
+    if isinstance(node, ActionPrefix):
+        if not isinstance(node.event, ServicePrimitive):
+            violations.append(
+                Violation(
+                    "GRAMMAR",
+                    nid,
+                    f"event {node.event} is not a service primitive "
+                    "(send/receive interactions and 'i' belong to the "
+                    "protocol level)",
+                )
+            )
+        return violations
+    if isinstance(node, Parallel):
+        for event in node.sync:
+            if not isinstance(event, ServicePrimitive):
+                violations.append(
+                    Violation(
+                        "GRAMMAR",
+                        nid,
+                        f"synchronization set contains non-primitive {event}",
+                    )
+                )
+        return violations
+    if isinstance(node, Choice):
+        left, right = attrs.of(node.left), attrs.of(node.right)
+        if left.sp != right.sp or len(left.sp) != 1:
+            violations.append(
+                Violation(
+                    "R1",
+                    nid,
+                    f"choice alternatives must start at one common place; "
+                    f"SP(left)={_fmt(left.sp)}, SP(right)={_fmt(right.sp)}",
+                )
+            )
+        if left.ep != right.ep:
+            violations.append(
+                Violation(
+                    "R2",
+                    nid,
+                    f"choice alternatives must end at the same places; "
+                    f"EP(left)={_fmt(left.ep)}, EP(right)={_fmt(right.ep)}",
+                )
+            )
+        return violations
+    if isinstance(node, Disable):
+        left, right = attrs.of(node.left), attrs.of(node.right)
+        if left.ep != right.ep:
+            violations.append(
+                Violation(
+                    "R2",
+                    nid,
+                    f"disable operands must end at the same places; "
+                    f"EP(normal)={_fmt(left.ep)}, EP(interrupt)={_fmt(right.ep)}",
+                )
+            )
+        if not right.sp <= left.ep:
+            violations.append(
+                Violation(
+                    "R3",
+                    nid,
+                    f"the disabling events must start at ending places of the "
+                    f"normal part; SP(interrupt)={_fmt(right.sp)} ⊄ "
+                    f"EP(normal)={_fmt(left.ep)}",
+                )
+            )
+        if not is_action_prefix_form(node.right):
+            violations.append(
+                Violation(
+                    "APF",
+                    nid,
+                    "disable operand is not in action prefix form; apply "
+                    "repro.lotos.expansion.transform_disable_operands",
+                )
+            )
+        return violations
+    return violations
+
+
+def _check_guardedness(spec: Specification) -> List[Violation]:
+    """Detect recursion that can re-enter a process without any action.
+
+    Unguarded recursion (``PROC A = A END`` or ``PROC A = A [] a1;exit``)
+    makes the operational semantics diverge; the check approximates
+    "reachable at initial position" structurally.
+    """
+    heads: Dict[str, Set[str]] = {}
+    for definition in spec.definitions:
+        heads[definition.name] = _initial_refs(definition.body.behaviour)
+
+    violations: List[Violation] = []
+    for name in heads:
+        seen: Set[str] = set()
+        frontier = set(heads.get(name, ()))
+        while frontier:
+            current = frontier.pop()
+            if current == name:
+                violations.append(
+                    Violation(
+                        "GUARD",
+                        -1,
+                        f"process {name!r} can invoke itself without first "
+                        "offering an action (unguarded recursion)",
+                    )
+                )
+                break
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier |= heads.get(current, set())
+    return violations
+
+
+def _initial_refs(node: Behaviour) -> Set[str]:
+    """Process names invocable before any event is offered."""
+    if isinstance(node, ProcessRef):
+        return {node.name}
+    if isinstance(node, ActionPrefix):
+        return set()
+    if isinstance(node, (Choice, Parallel, Disable)):
+        result = set()
+        for child in node.children():
+            result |= _initial_refs(child)
+        return result
+    if isinstance(node, Enable):
+        # The right side becomes initial only if the left can terminate
+        # immediately; conservatively, only a bare exit does.
+        from repro.lotos.syntax import Exit
+
+        result = _initial_refs(node.left)
+        if isinstance(node.left, Exit):
+            result |= _initial_refs(node.right)
+        return result
+    if isinstance(node, Hide):
+        return _initial_refs(node.body)
+    return set()
+
+
+def _fmt(places) -> str:
+    return "{" + ",".join(str(p) for p in sorted(places)) + "}"

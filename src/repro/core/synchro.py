@@ -1,0 +1,185 @@
+"""The synchronization-message functions of Table 4.
+
+Each function answers, for one place ``p`` and one syntactic context,
+"which synchronization messages must entity ``p`` exchange here?", and
+returns a behaviour fragment: an interleaving of one-shot sends/receives
+(``s_j(s,N); exit ||| ...``), or :class:`Empty` when place ``p`` has
+nothing to do — exactly the strings ``send(P,N)``/``receive(P,N)`` of the
+paper, as ASTs.
+
+All messages carry the symbolic occurrence (``occurrence=None``): the
+runtime binds it to the occurrence path of the enclosing process instance
+(Section 3.5), identically at every place because the derivation
+preserves the structure of the service specification.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+from repro.core.attributes import AttributeTable
+from repro.lotos.events import (
+    Event,
+    ReceiveAction,
+    SendAction,
+    ServicePrimitive,
+    SyncMessage,
+    place_of,
+)
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Behaviour,
+    Empty,
+    Exit,
+    Parallel,
+    ProcessRef,
+)
+
+Places = FrozenSet[int]
+
+
+def _node_number(node: Behaviour) -> int:
+    if node.nid is None:
+        raise ValueError("synchronization requires a numbered service tree")
+    return node.nid
+
+
+def send_to(places: Iterable[int], node: int) -> Behaviour:
+    """``send(P, N)``: ``( s_i(s,N);exit ||| ... ||| s_k(s,N);exit )``."""
+    return _one_shots(
+        [SendAction(dest=place, message=SyncMessage(node)) for place in sorted(places)]
+    )
+
+
+def receive_from(places: Iterable[int], node: int) -> Behaviour:
+    """``receive(P, N)``: ``( r_i(s,N);exit ||| ... ||| r_k(s,N);exit )``."""
+    return _one_shots(
+        [ReceiveAction(src=place, message=SyncMessage(node)) for place in sorted(places)]
+    )
+
+
+def _one_shots(events: list) -> Behaviour:
+    """Interleaved one-shot interactions; ``empty`` when there are none."""
+    if not events:
+        return Empty()
+    result: Behaviour = ActionPrefix(events[-1], Exit())
+    for event in reversed(events[:-1]):
+        result = Parallel(ActionPrefix(event, Exit()), result)
+    return result
+
+
+def synch_left(
+    p: int, e1: Behaviour, e2: Behaviour, attrs: AttributeTable
+) -> Behaviour:
+    """``Synch_Left_p(e1, e2)`` — sequential synchronization, sender side.
+
+    Every ending place of ``e1`` announces completion to every starting
+    place of ``e2`` (Section 3.1).
+    """
+    if p in attrs.ep(e1):
+        return send_to(attrs.sp(e2) - {p}, _node_number(e1))
+    return Empty()
+
+
+def synch_right(
+    p: int, e1: Behaviour, e2: Behaviour, attrs: AttributeTable
+) -> Behaviour:
+    """``Synch_Right_p(e1, e2)`` — sequential synchronization, receiver side.
+
+    Every starting place of ``e2`` must collect the completion messages
+    of every ending place of ``e1`` before proceeding.
+    """
+    if p in attrs.sp(e2):
+        return receive_from(attrs.ep(e1) - {p}, _node_number(e1))
+    return Empty()
+
+
+def rel(p: int, e: Behaviour, attrs: AttributeTable) -> Behaviour:
+    """``Rel_p(e)`` — termination synchronization under a disable.
+
+    Places must not "freely terminate their [normal] sequence" (Section
+    3.3): each ending place broadcasts its completion to every other
+    place and waits for the other ending places; non-ending places wait
+    for all ending places.
+    """
+    node = _node_number(e)
+    ep = attrs.ep(e)
+    if p in ep:
+        send_part = send_to(attrs.all_places - {p}, node)
+        receive_part = receive_from(ep - {p}, node)
+        if isinstance(receive_part, Empty):
+            return send_part
+        if isinstance(send_part, Empty):
+            return receive_part
+        return Parallel(send_part, receive_part)
+    return receive_from(ep, node)
+
+
+def interr(
+    p: int, e1: Behaviour, e2: Behaviour, attrs: AttributeTable
+) -> Behaviour:
+    """``Interr_p(e1, e2)`` — interrupt broadcast (Section 3.3, Table 4).
+
+    When the disabling event (``e1``, an event prefix) occurs, its place
+    broadcasts the interruption to every place not already notified
+    through the ordinary prefix synchronization with the continuation
+    ``e2`` (whose starting places receive ``Synch_Left`` messages
+    instead).
+    """
+    node = _node_number(e1)
+    sp1 = attrs.sp(e1)
+    others = attrs.all_places - sp1 - attrs.sp(e2)
+    if p in sp1:
+        return send_to(others, node)
+    if p in others:
+        return receive_from(sp1, node)
+    return Empty()
+
+
+def alternative(
+    p: int, e1: Behaviour, e2: Behaviour, attrs: AttributeTable
+) -> Behaviour:
+    """``Alternative_p(e1, e2)`` — empty-alternative avoidance (Section 3.2).
+
+    After the alternative ``e1`` of a choice ``e1 [] e2`` completes, its
+    starting place informs every place that participates in ``e2`` but
+    not in ``e1`` — otherwise those places could never learn that the
+    choice fell on ``e1`` and would wait forever.
+    """
+    node = _node_number(e1)
+    sp1 = attrs.sp(e1)
+    non_participating = attrs.ap(e2) - attrs.ap(e1)
+    if p in sp1:
+        return send_to(non_participating - {p}, node)
+    if p in non_participating:
+        return receive_from(sp1, node)
+    return Empty()
+
+
+def proc_synch(p: int, ref: ProcessRef, attrs: AttributeTable) -> Behaviour:
+    """``Proc_Synch_p(e)`` — synchronization at the process level.
+
+    Every process invocation is announced by the starting places of the
+    process to all other places (Section 3.4), so that places with no
+    action before the invocation still enter their local copy of the
+    process at the right moment.
+    """
+    node = _node_number(ref)
+    sp = attrs.sp(ref)
+    if p in sp:
+        return send_to(attrs.all_places - sp, node)
+    return receive_from(sp & attrs.all_places, node)
+
+
+def select(p: int, subset: FrozenSet[Event]) -> FrozenSet[Event]:
+    """``select_p(set)`` — the events of ``set`` local to place ``p``."""
+    return frozenset(event for event in subset if place_of(event) == p)
+
+
+def proj(p: int, event: ServicePrimitive) -> Optional[ServicePrimitive]:
+    """``Proj_p(e)`` — the event itself at its own place, else ``empty``.
+
+    Returns ``None`` for the "empty" outcome; the derivation rules splice
+    the event in (or not) accordingly.
+    """
+    return event if event.place == p else None

@@ -1,0 +1,96 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the phase that failed (lexing, parsing,
+attribute evaluation, restriction checking, derivation, execution or
+verification).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class LexerError(ReproError):
+    """Raised when the lexer meets a character it cannot tokenize."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(ReproError):
+    """Raised when the token stream does not match the Table 1 grammar."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SemanticsError(ReproError):
+    """Raised for ill-formed behaviours during transition computation."""
+
+
+class UnboundProcessError(SemanticsError):
+    """Raised when a process reference has no matching definition."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"process {name!r} is not defined in scope")
+        self.name = name
+
+
+class UnguardedRecursionError(SemanticsError):
+    """Raised when unfolding recursion makes no progress (e.g. ``A = A``)."""
+
+
+class AttributeEvaluationError(ReproError):
+    """Raised when SP/EP/AP evaluation fails (paper section 4.1)."""
+
+
+class RestrictionViolation(ReproError):
+    """Raised when a service specification violates R1, R2 or R3.
+
+    The paper (sections 3.2 and 3.3) restricts the class of service
+    specifications accepted by the Protocol Generator.  ``rule`` names the
+    violated restriction (``"R1"``, ``"R2"``, ``"R3"`` or a grammar-level
+    restriction such as ``"APF"`` for disable operands not in action
+    prefix form).
+    """
+
+    def __init__(self, rule: str, message: str) -> None:
+        super().__init__(f"{rule}: {message}")
+        self.rule = rule
+
+
+class DerivationError(ReproError):
+    """Raised when the T_p derivation meets an unsupported construct."""
+
+
+class ExpansionError(ReproError):
+    """Raised when an expression cannot be put in action prefix form."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the distributed runtime (deadlock reporting is separate)."""
+
+
+class VerificationError(ReproError):
+    """Raised by the verification harness on malformed input."""
+
+
+class StateSpaceLimitExceeded(ReproError):
+    """Raised when bounded LTS construction hits its state budget.
+
+    Callers that can tolerate truncation should pass ``on_limit="truncate"``
+    to the LTS builder instead of catching this.
+    """
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"state space exceeded the budget of {limit} states")
+        self.limit = limit

@@ -1,0 +1,69 @@
+"""Basic-LOTOS substrate: events, syntax, parser, semantics, equivalences.
+
+This subpackage implements the specification language of the paper's
+Section 2 (a dialect of basic LOTOS without hiding at the service level),
+its structured operational semantics, labelled transition systems and the
+behavioural equivalences used by the correctness theorem of Section 5.
+"""
+
+from repro.lotos.events import (
+    DELTA,
+    INTERNAL,
+    Delta,
+    Event,
+    InternalAction,
+    Label,
+    ReceiveAction,
+    SendAction,
+    ServicePrimitive,
+    SyncMessage,
+)
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Behaviour,
+    Choice,
+    DefBlock,
+    Disable,
+    Empty,
+    Enable,
+    Exit,
+    Hide,
+    Parallel,
+    ProcessDefinition,
+    ProcessRef,
+    Specification,
+    Stop,
+)
+from repro.lotos.parser import parse, parse_behaviour
+from repro.lotos.unparse import unparse, unparse_behaviour
+
+__all__ = [
+    "DELTA",
+    "INTERNAL",
+    "Delta",
+    "Event",
+    "InternalAction",
+    "Label",
+    "ReceiveAction",
+    "SendAction",
+    "ServicePrimitive",
+    "SyncMessage",
+    "ActionPrefix",
+    "Behaviour",
+    "Choice",
+    "DefBlock",
+    "Disable",
+    "Empty",
+    "Enable",
+    "Exit",
+    "Hide",
+    "Parallel",
+    "ProcessDefinition",
+    "ProcessRef",
+    "Specification",
+    "Stop",
+    "parse",
+    "parse_behaviour",
+    "unparse",
+    "unparse_behaviour",
+]

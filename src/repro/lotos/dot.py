@@ -1,0 +1,149 @@
+"""Graphviz/DOT export: LTS graphs and attributed syntax trees.
+
+``syntax_tree_to_dot`` reproduces the paper's Figure 4 as a drawable
+artifact: every node of the numbered service tree with its N and its
+SP/EP/AP attributes.  ``lts_to_dot`` renders (small) labelled transition
+systems, distinguishing internal moves, service primitives and the
+termination event.
+
+Output is plain DOT text — render with ``dot -Tsvg`` wherever Graphviz
+is available; the tests only assert the structure of the text.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attributes import AttributeTable
+from repro.lotos.events import Delta, InternalAction
+from repro.lotos.lts import LTS
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Behaviour,
+    Choice,
+    Disable,
+    Empty,
+    Enable,
+    Exit,
+    Hide,
+    Parallel,
+    ProcessRef,
+    Specification,
+    Stop,
+)
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _node_symbol(node: Behaviour) -> str:
+    if isinstance(node, ActionPrefix):
+        return f"{node.event} ;"
+    if isinstance(node, Choice):
+        return "[]"
+    if isinstance(node, Parallel):
+        if node.sync_all:
+            return "||"
+        if node.sync:
+            events = ", ".join(sorted(str(e) for e in node.sync))
+            return f"|[{events}]|"
+        return "|||"
+    if isinstance(node, Enable):
+        return ">>"
+    if isinstance(node, Disable):
+        return "[>"
+    if isinstance(node, ProcessRef):
+        return node.name
+    if isinstance(node, Exit):
+        return "exit"
+    if isinstance(node, Stop):
+        return "stop"
+    if isinstance(node, Empty):
+        return "empty"
+    if isinstance(node, Hide):
+        return "hide"
+    return type(node).__name__
+
+
+def _places(places) -> str:
+    return "{" + ",".join(str(p) for p in sorted(places)) + "}"
+
+
+def syntax_tree_to_dot(
+    spec: Specification, attrs: Optional[AttributeTable] = None
+) -> str:
+    """The (optionally attributed) derivation tree, Figure 4 style."""
+    lines = [
+        "digraph derivation_tree {",
+        '  node [shape=box, fontname="monospace"];',
+    ]
+    counter = [0]
+
+    def emit(node: Behaviour, parent: Optional[str]) -> None:
+        identity = f"n{counter[0]}"
+        counter[0] += 1
+        label = _node_symbol(node)
+        if node.nid is not None:
+            label = f"N={node.nid}\\n{label}"
+        if attrs is not None and node.nid is not None:
+            try:
+                triple = attrs.of(node)
+                label += (
+                    f"\\nSP={_places(triple.sp)} EP={_places(triple.ep)}"
+                    f"\\nAP={_places(triple.ap)}"
+                )
+            except Exception:
+                pass
+        lines.append(f'  {identity} [label="{_escape(label)}"];')
+        if parent is not None:
+            lines.append(f"  {parent} -> {identity};")
+        for child in node.children():
+            emit(child, identity)
+
+    def emit_block(block, parent: Optional[str]) -> None:
+        emit(block.behaviour, parent)
+        for definition in block.definitions:
+            identity = f"n{counter[0]}"
+            counter[0] += 1
+            lines.append(
+                f'  {identity} [label="PROC {_escape(definition.name)}", shape=ellipse];'
+            )
+            if parent is not None:
+                lines.append(f"  {parent} -> {identity} [style=dashed];")
+            emit_block(definition.body, identity)
+
+    root_identity = "root"
+    lines.append('  root [label="SPEC", shape=ellipse];')
+    emit_block(spec.root, root_identity)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def lts_to_dot(lts: LTS, max_states: int = 300) -> str:
+    """A drawable LTS: double circle start, dashed internal moves."""
+    lines = [
+        "digraph lts {",
+        "  rankdir=LR;",
+        '  node [shape=circle, fontname="monospace"];',
+        f"  s{lts.initial} [shape=doublecircle];",
+    ]
+    shown = min(lts.num_states, max_states)
+    for state in range(shown):
+        if state in lts.truncated_states:
+            lines.append(f'  s{state} [style=dotted, label="s{state}?"];')
+        for label, target in lts.edges[state]:
+            if target >= shown:
+                continue
+            style = ""
+            if isinstance(label, InternalAction):
+                style = ", style=dashed"
+            elif isinstance(label, Delta):
+                style = ", color=gray"
+            lines.append(
+                f'  s{state} -> s{target} [label="{_escape(str(label))}"{style}];'
+            )
+    if lts.num_states > shown:
+        lines.append(f'  more [label="... {lts.num_states - shown} more states", shape=plaintext];')
+    lines.append("}")
+    return "\n".join(lines)

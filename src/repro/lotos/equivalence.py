@@ -1,0 +1,203 @@
+"""Behavioural equivalences on finite LTSs.
+
+The paper's correctness theorem (Section 5) is stated in terms of
+*observation congruence* ``≈`` [Lotos 89] — weak bisimulation plus the
+rooted condition on initial internal moves.  This module implements, by
+partition refinement:
+
+* strong bisimulation equivalence,
+* weak bisimulation equivalence (saturation + strong refinement),
+* observation congruence (rooted weak bisimulation),
+
+all between two finite, complete LTSs.  Bounded comparison of
+infinite-state systems lives in :mod:`repro.lotos.traces`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.errors import VerificationError
+from repro.lotos.events import Label
+from repro.lotos.lts import LTS
+
+#: Pseudo-label used in the saturated system for "zero or more internal
+#: moves".  Any object distinct from real labels works; a module-private
+#: sentinel keeps it out of user-visible label sets.
+_EPSILON = object()
+
+
+@dataclass
+class _Union:
+    """Disjoint union of two LTSs with a shared state numbering."""
+
+    edges: List[Tuple[Tuple[object, int], ...]]
+    initial1: int
+    initial2: int
+    offset: int
+
+
+def _disjoint_union(lts1: LTS, lts2: LTS) -> _Union:
+    for lts, which in ((lts1, "first"), (lts2, "second")):
+        if not lts.complete:
+            raise VerificationError(
+                f"the {which} LTS is truncated; equivalence checking requires "
+                "a complete state graph (raise max_states or use bounded "
+                "trace comparison instead)"
+            )
+    offset = lts1.num_states
+    edges: List[Tuple[Tuple[object, int], ...]] = [
+        tuple(outgoing) for outgoing in lts1.edges
+    ]
+    edges.extend(
+        tuple((label, target + offset) for label, target in outgoing)
+        for outgoing in lts2.edges
+    )
+    return _Union(edges, lts1.initial, lts2.initial + offset, offset)
+
+
+def _refine(
+    num_states: int, edges: List[Tuple[Tuple[object, int], ...]]
+) -> List[int]:
+    """Signature-based partition refinement; returns block ids per state."""
+    blocks = [0] * num_states
+    while True:
+        signatures: Dict[int, Tuple[int, FrozenSet[Tuple[object, int]]]] = {}
+        for state in range(num_states):
+            signature = frozenset(
+                (label, blocks[target]) for label, target in edges[state]
+            )
+            signatures[state] = (blocks[state], signature)
+        mapping: Dict[Tuple[int, FrozenSet], int] = {}
+        new_blocks = [0] * num_states
+        for state in range(num_states):
+            key = signatures[state]
+            block = mapping.setdefault(key, len(mapping))
+            new_blocks[state] = block
+        if new_blocks == blocks:
+            return blocks
+        blocks = new_blocks
+
+
+def strong_bisimilar(lts1: LTS, lts2: LTS) -> bool:
+    """Strong bisimulation equivalence of the two initial states."""
+    union = _disjoint_union(lts1, lts2)
+    blocks = _refine(len(union.edges), union.edges)
+    return blocks[union.initial1] == blocks[union.initial2]
+
+
+def _saturate(
+    edges: List[Tuple[Tuple[object, int], ...]]
+) -> List[Tuple[Tuple[object, int], ...]]:
+    """Weak (double-arrow) transition relation with epsilon self-loops.
+
+    ``s =a=> t``  iff  ``s (tau)* a (tau)* t`` for observable ``a``;
+    ``s =eps=> t`` iff ``s (tau)* t`` (reflexive).  Strong bisimulation on
+    the saturated system coincides with weak bisimulation on the original.
+    """
+    num_states = len(edges)
+    closure: List[Set[int]] = []
+    for state in range(num_states):
+        seen = {state}
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            for label, target in edges[current]:
+                if _is_tau(label) and target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        closure.append(seen)
+
+    saturated: List[Tuple[Tuple[object, int], ...]] = []
+    for state in range(num_states):
+        weak: Set[Tuple[object, int]] = set()
+        for mid in closure[state]:
+            weak.add((_EPSILON, mid))
+            for label, target in edges[mid]:
+                if _is_tau(label):
+                    continue
+                for final in closure[target]:
+                    weak.add((label, final))
+        saturated.append(tuple(weak))
+    return saturated
+
+
+def _is_tau(label: object) -> bool:
+    return isinstance(label, Label) and not label.is_observable()
+
+
+def weak_bisimulation_blocks(lts1: LTS, lts2: LTS) -> Tuple[List[int], _Union]:
+    """Weak-bisimulation classes over the disjoint union of both LTSs."""
+    union = _disjoint_union(lts1, lts2)
+    saturated = _saturate(union.edges)
+    blocks = _refine(len(union.edges), saturated)
+    return blocks, union
+
+
+def weak_bisimilar(lts1: LTS, lts2: LTS) -> bool:
+    """Weak bisimulation equivalence of the two initial states."""
+    blocks, union = weak_bisimulation_blocks(lts1, lts2)
+    return blocks[union.initial1] == blocks[union.initial2]
+
+
+def observationally_congruent(lts1: LTS, lts2: LTS) -> bool:
+    """Observation congruence ``≈`` (rooted weak bisimulation).
+
+    The initial states must match each other's *first* move in the rooted
+    sense: an initial internal move of one side must be answered by at
+    least one internal move of the other (``B [] i;B`` is weakly
+    bisimilar, but not congruent, to ``i;B`` — law I2 of Annex A relates
+    them only under a choice context).
+    """
+    blocks, union = weak_bisimulation_blocks(lts1, lts2)
+    saturated = _saturate(union.edges)
+
+    def rooted_match(source: int, other: int) -> bool:
+        for label, target in union.edges[source]:
+            if _is_tau(label):
+                # Rooted condition: an internal move must be answered by
+                # *at least one* internal step — one strong tau step,
+                # then any number more (tau then eps-closure).
+                candidates: Set[int] = set()
+                for lab2, mid in union.edges[other]:
+                    if _is_tau(lab2):
+                        candidates.add(mid)
+                        candidates.update(
+                            final
+                            for lab3, final in saturated[mid]
+                            if lab3 is _EPSILON
+                        )
+                if not any(blocks[c] == blocks[target] for c in candidates):
+                    return False
+            else:
+                matched = any(
+                    lab == label and blocks[final] == blocks[target]
+                    for lab, final in saturated[other]
+                )
+                if not matched:
+                    return False
+        return True
+
+    if blocks[union.initial1] != blocks[union.initial2]:
+        return False
+    return rooted_match(union.initial1, union.initial2) and rooted_match(
+        union.initial2, union.initial1
+    )
+
+
+def weak_bisimulation_classes(lts: LTS) -> List[int]:
+    """Weak-bisimulation equivalence classes within a single LTS."""
+    if not lts.complete:
+        raise VerificationError("LTS is truncated")
+    saturated = _saturate([tuple(outgoing) for outgoing in lts.edges])
+    return _refine(lts.num_states, saturated)
+
+
+def minimize_weak(lts: LTS) -> Tuple[int, Dict[int, Set[int]]]:
+    """Number of weak-bisimulation classes and the class partition."""
+    blocks = weak_bisimulation_classes(lts)
+    partition: Dict[int, Set[int]] = {}
+    for state, block in enumerate(blocks):
+        partition.setdefault(block, set()).add(state)
+    return len(partition), partition

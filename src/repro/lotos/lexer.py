@@ -1,0 +1,149 @@
+"""Tokenizer for the specification language of Table 1.
+
+The lexer is a plain maximal-munch scanner with line/column tracking.  It
+recognizes:
+
+* the keywords ``SPEC``, ``ENDSPEC``, ``PROC``, ``END``, ``WHERE``,
+  ``exit`` and, as extensions, ``stop``, ``hide``, ``in``;
+* the operators ``>>``, ``[>``, ``[]``, ``|||``, ``||``, ``|[``, ``]|``
+  plus ``(``, ``)``, ``;``, ``=``, ``,``, ``<``, ``>``, ``.``;
+* identifiers.  Following the paper's convention, identifiers beginning
+  with an upper-case letter are process identifiers and identifiers
+  beginning with a lower-case letter are event identifiers (``a1``,
+  ``read1``); the place of an event identifier is its trailing digit run;
+* LOTOS comments ``(* ... *)``.
+
+Interpretation of send/receive interactions (``s2(8)``, ``r1(s,2)``) is
+done by the parser — lexically they are an identifier followed by a
+parenthesized parameter list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import LexerError
+
+#: Token type names.
+KEYWORDS = frozenset(
+    {"SPEC", "ENDSPEC", "PROC", "END", "WHERE", "exit", "stop", "hide", "in", "empty"}
+)
+
+#: Multi-character operators, longest first so maximal munch is a simple
+#: linear scan over this tuple.
+OPERATORS = (
+    ("|||", "INTERLEAVE"),
+    ("||", "FULLSYNC"),
+    ("|[", "LSYNC"),
+    ("]|", "RSYNC"),
+    ("[>", "DISABLE"),
+    ("[]", "CHOICE"),
+    (">>", "ENABLE"),
+    ("(", "LPAREN"),
+    (")", "RPAREN"),
+    (";", "SEMI"),
+    ("=", "EQUALS"),
+    (",", "COMMA"),
+    ("<", "LANGLE"),
+    (">", "RANGLE"),
+    (".", "DOT"),
+    ("^", "CARET"),
+    ("_", "UNDERSCORE"),
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.type}({self.value!r})@{self.line}:{self.column}"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha()
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises :class:`LexerError` on illegal input."""
+    return list(iter_tokens(text))
+
+
+def iter_tokens(text: str) -> Iterator[Token]:
+    """Yield the tokens of ``text`` followed by a final ``EOF`` token."""
+    pos = 0
+    line = 1
+    column = 1
+    length = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal pos, line, column
+        for _ in range(count):
+            if pos < length and text[pos] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            pos += 1
+
+    while pos < length:
+        ch = text[pos]
+        if ch.isspace():
+            advance(1)
+            continue
+        # LOTOS comment: (* ... *), non-nesting.
+        if text.startswith("(*", pos):
+            end = text.find("*)", pos + 2)
+            if end < 0:
+                raise LexerError("unterminated comment", line, column)
+            advance(end + 2 - pos)
+            continue
+        if _is_ident_start(ch):
+            start = pos
+            start_line, start_column = line, column
+            while pos < length and _is_ident_char(text[pos]):
+                advance(1)
+            value = text[start:pos]
+            token_type = "KEYWORD" if value in KEYWORDS else "IDENT"
+            yield Token(token_type, value, start_line, start_column)
+            continue
+        if ch.isdigit():
+            start = pos
+            start_line, start_column = line, column
+            while pos < length and text[pos].isdigit():
+                advance(1)
+            yield Token("NUMBER", text[start:pos], start_line, start_column)
+            continue
+        for literal, token_type in OPERATORS:
+            if text.startswith(literal, pos):
+                yield Token(token_type, literal, line, column)
+                advance(len(literal))
+                break
+        else:
+            raise LexerError(f"unexpected character {ch!r}", line, column)
+    yield Token("EOF", "", line, column)
+
+
+def split_event_identifier(name: str) -> tuple[str, int | None]:
+    """Split an event identifier into (primitive name, place).
+
+    The place of a service primitive is its trailing digit run (``read1``
+    is primitive ``read`` at place 1).  Identifiers without trailing
+    digits have no place (only the internal action ``i`` is legal then).
+    """
+    index = len(name)
+    while index > 0 and name[index - 1].isdigit():
+        index -= 1
+    if index == len(name):
+        return name, None
+    return name[:index], int(name[index:])

@@ -1,0 +1,351 @@
+"""Recursive-descent parser for the Table 1 grammar.
+
+The concrete grammar, written with the usual precedence climbing (loosest
+binding first), is::
+
+    spec        := 'SPEC' def_block 'ENDSPEC'
+    def_block   := e ('WHERE' process_def+)?
+    process_def := 'PROC' ProcId '=' def_block 'END'
+    e           := 'hide' gate_list 'in' e          (extension)
+                 | dis ('>>' e)?                    (rules 7/8)
+    dis         := par ('[>' dis)?                  (rule 9)
+    par         := choice (par_op par)?             (rules 11-13)
+    par_op      := '|||' | '||' | '|[' event_list ']|'
+    choice      := seq ('[]' choice)?               (rules 14/15)
+    seq         := Event ';' (seq | 'exit' | 'stop')  (rules 16/17)
+                 | ProcId                           (rule 18)
+                 | '(' e ')'                        (rule 19)
+                 | 'exit' | 'stop' | 'empty'        (extensions)
+
+Deviations from the paper's grammar are strict extensions: bare ``exit``,
+``stop``, ``empty`` and ``hide`` are accepted so that *derived* protocol
+specifications (which contain such fragments before simplification) can be
+round-tripped; :mod:`repro.core.restrictions` rejects them in service
+specifications submitted to the Protocol Generator.
+
+Identifier discipline follows the paper: process identifiers start with an
+upper-case letter, event identifiers with a lower-case letter and end in
+the place number (``read1``); ``i`` is the internal action; ``sJ(params)``
+and ``rI(params)`` are send/receive interactions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.lotos.events import (
+    Event,
+    InternalAction,
+    ReceiveAction,
+    SendAction,
+    ServicePrimitive,
+    SyncMessage,
+)
+from repro.lotos.lexer import Token, split_event_identifier, tokenize
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Behaviour,
+    Choice,
+    DefBlock,
+    Disable,
+    Empty,
+    Enable,
+    Exit,
+    Hide,
+    Parallel,
+    ProcessDefinition,
+    ProcessRef,
+    Specification,
+    Stop,
+)
+
+
+class _Parser:
+    """Token-stream cursor with one-token lookahead."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # cursor primitives
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type != "EOF":
+            self._index += 1
+        return token
+
+    def expect(self, token_type: str, value: Optional[str] = None) -> Token:
+        token = self.current
+        if token.type != token_type or (value is not None and token.value != value):
+            wanted = value if value is not None else token_type
+            raise ParseError(
+                f"expected {wanted!r}, found {token.value!r}", token.line, token.column
+            )
+        return self.advance()
+
+    def at_keyword(self, value: str) -> bool:
+        return self.current.type == "KEYWORD" and self.current.value == value
+
+    def error(self, message: str) -> ParseError:
+        token = self.current
+        return ParseError(message + f", found {token.value!r}", token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # grammar rules
+    # ------------------------------------------------------------------
+    def parse_specification(self) -> Specification:
+        self.expect("KEYWORD", "SPEC")
+        block = self.parse_def_block()
+        self.expect("KEYWORD", "ENDSPEC")
+        self.expect("EOF")
+        return Specification(block)
+
+    def parse_def_block(self) -> DefBlock:
+        behaviour = self.parse_expression()
+        definitions: Tuple[ProcessDefinition, ...] = ()
+        if self.at_keyword("WHERE"):
+            self.advance()
+            collected = []
+            while self.at_keyword("PROC"):
+                collected.append(self.parse_process_def())
+            if not collected:
+                raise self.error("expected at least one PROC definition after WHERE")
+            definitions = tuple(collected)
+        return DefBlock(behaviour, definitions)
+
+    def parse_process_def(self) -> ProcessDefinition:
+        self.expect("KEYWORD", "PROC")
+        name_token = self.expect("IDENT")
+        if not name_token.value[0].isupper():
+            raise ParseError(
+                f"process identifier {name_token.value!r} must start upper-case",
+                name_token.line,
+                name_token.column,
+            )
+        self.expect("EQUALS")
+        body = self.parse_def_block()
+        self.expect("KEYWORD", "END")
+        return ProcessDefinition(name_token.value, body)
+
+    def parse_expression(self) -> Behaviour:
+        if self.at_keyword("hide"):
+            return self.parse_hide()
+        left = self.parse_dis()
+        if self.current.type == "ENABLE":
+            self.advance()
+            right = self.parse_expression()
+            return Enable(left, right)
+        return left
+
+    def parse_hide(self) -> Behaviour:
+        self.expect("KEYWORD", "hide")
+        hide_messages = False
+        gates: List[Event] = []
+        if self.current.type == "IDENT" and self.current.value == "messages":
+            self.advance()
+            hide_messages = True
+        else:
+            gates.append(self.parse_event())
+            while self.current.type == "COMMA":
+                self.advance()
+                gates.append(self.parse_event())
+        self.expect("KEYWORD", "in")
+        body = self.parse_expression()
+        return Hide(body, frozenset(gates), hide_messages)
+
+    def parse_dis(self) -> Behaviour:
+        left = self.parse_par()
+        if self.current.type == "DISABLE":
+            self.advance()
+            right = self.parse_dis()
+            return Disable(left, right)
+        return left
+
+    def parse_par(self) -> Behaviour:
+        left = self.parse_choice()
+        token = self.current
+        if token.type == "INTERLEAVE":
+            self.advance()
+            return Parallel(left, self.parse_par())
+        if token.type == "FULLSYNC":
+            self.advance()
+            return Parallel(left, self.parse_par(), sync_all=True)
+        if token.type == "LSYNC":
+            self.advance()
+            subset = self.parse_event_subset()
+            self.expect("RSYNC")
+            return Parallel(left, self.parse_par(), sync=frozenset(subset))
+        return left
+
+    def parse_event_subset(self) -> List[Event]:
+        events: List[Event] = []
+        if self.current.type == "RSYNC":
+            return events
+        events.append(self.parse_event())
+        while self.current.type == "COMMA":
+            self.advance()
+            events.append(self.parse_event())
+        return events
+
+    def parse_choice(self) -> Behaviour:
+        left = self.parse_seq()
+        if self.current.type == "CHOICE":
+            self.advance()
+            right = self.parse_choice()
+            return Choice(left, right)
+        return left
+
+    def parse_seq(self) -> Behaviour:
+        token = self.current
+        if token.type == "LPAREN":
+            self.advance()
+            inner = self.parse_expression()
+            self.expect("RPAREN")
+            return inner
+        if token.type == "KEYWORD":
+            if token.value == "exit":
+                self.advance()
+                return Exit()
+            if token.value == "stop":
+                self.advance()
+                return Stop()
+            if token.value == "empty":
+                self.advance()
+                return Empty()
+            raise self.error("expected a behaviour expression")
+        if token.type == "IDENT":
+            if token.value[0].isupper():
+                self.advance()
+                site = None
+                if self.current.type == "LPAREN" and self.peek().type == "NUMBER":
+                    self.advance()
+                    site = int(self.expect("NUMBER").value)
+                    self.expect("RPAREN")
+                return ProcessRef(token.value, site=site)
+            event = self.parse_event()
+            self.expect("SEMI")
+            continuation = self.parse_seq_continuation()
+            return ActionPrefix(event, continuation)
+        raise self.error("expected a behaviour expression")
+
+    def parse_seq_continuation(self) -> Behaviour:
+        """The part after ``Event ;`` — another Seq, ``exit`` or ``stop``."""
+        if self.at_keyword("exit"):
+            self.advance()
+            return Exit()
+        if self.at_keyword("stop"):
+            self.advance()
+            return Stop()
+        return self.parse_seq()
+
+    # ------------------------------------------------------------------
+    # events and messages
+    # ------------------------------------------------------------------
+    def parse_event(self) -> Event:
+        token = self.expect("IDENT")
+        name = token.value
+        if name[0].isupper():
+            raise ParseError(
+                f"event identifier {name!r} must start lower-case", token.line, token.column
+            )
+        if name == "i":
+            return InternalAction()
+        base, place = split_event_identifier(name)
+        if place is not None and base in ("s", "r") and self.current.type == "LPAREN":
+            message = self.parse_message()
+            if base == "s":
+                return SendAction(dest=place, message=message)
+            return ReceiveAction(src=place, message=message)
+        if place is None:
+            raise ParseError(
+                f"event identifier {name!r} has no place number "
+                "(service primitives are written like 'read1')",
+                token.line,
+                token.column,
+            )
+        params: Tuple[str, ...] = ()
+        if self.current.type == "LPAREN":
+            params = self.parse_parameter_names()
+        return ServicePrimitive(base, place, params)
+
+    def parse_parameter_names(self) -> Tuple[str, ...]:
+        """Interaction parameters: ``(x)`` or ``(x, y)`` after a primitive."""
+        self.expect("LPAREN")
+        names = [self.expect("IDENT").value]
+        while self.current.type == "COMMA":
+            self.advance()
+            names.append(self.expect("IDENT").value)
+        self.expect("RPAREN")
+        return tuple(names)
+
+    def parse_message(self) -> SyncMessage:
+        """Parse ``( [occurrence ','] [kind ','] node )``.
+
+        Accepted occurrence forms: the symbol ``s`` (the symbolic current
+        instance) and ``<3.5>`` / ``<>`` (concrete occurrence paths).  A
+        bare node number, as printed in the paper's examples, denotes the
+        symbolic occurrence.
+        """
+        self.expect("LPAREN")
+        occurrence: Optional[Tuple[int, ...]] = None
+        kind = "sync"
+        node: Optional[int] = None
+        while True:
+            token = self.current
+            if token.type == "NUMBER":
+                self.advance()
+                node = int(token.value)
+            elif token.type == "IDENT" and token.value == "s":
+                self.advance()
+                occurrence = None
+            elif token.type == "IDENT" and token.value == "x":
+                # The paper's Section 3 sketches write s2(x) for "some
+                # message"; map x to node 0.
+                self.advance()
+                node = 0
+            elif token.type == "IDENT":
+                self.advance()
+                kind = token.value
+            elif token.type == "LANGLE":
+                self.advance()
+                path: List[int] = []
+                while self.current.type == "NUMBER":
+                    path.append(int(self.advance().value))
+                    if self.current.type == "DOT":
+                        self.advance()
+                self.expect("RANGLE")
+                occurrence = tuple(path)
+            else:
+                raise self.error("expected a message parameter")
+            if self.current.type == "COMMA":
+                self.advance()
+                continue
+            break
+        self.expect("RPAREN")
+        if node is None:
+            raise self.error("message parameter list lacks a node number")
+        return SyncMessage(node=node, occurrence=occurrence, kind=kind)
+
+
+def parse(text: str) -> Specification:
+    """Parse a full ``SPEC ... ENDSPEC`` specification."""
+    return _Parser(tokenize(text)).parse_specification()
+
+
+def parse_behaviour(text: str) -> Behaviour:
+    """Parse a bare behaviour expression (no SPEC/ENDSPEC wrapper)."""
+    parser = _Parser(tokenize(text))
+    behaviour = parser.parse_expression()
+    parser.expect("EOF")
+    return behaviour

@@ -1,0 +1,153 @@
+"""Name resolution and occurrence binding.
+
+Process definitions are block structured (``PROC A = e WHERE PROC B = ...
+END END``); inner definitions shadow outer ones.  The semantics, on the
+other hand, wants a flat environment mapping process names to bodies.
+:func:`flatten` performs the elaboration: it qualifies every definition
+with its lexical path and rewrites every :class:`ProcessRef` to the
+qualified name of the definition it resolves to.
+
+:func:`bind_occurrence` implements the occurrence-number discipline of
+paper Section 3.5: when a process instance is created, every symbolic
+synchronization-message occurrence in its body is replaced by the
+instance's occurrence path, and every process reference in the body is
+annotated with the occurrence path *its* instantiation will use (the
+parent path extended by the invocation-site node number).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import UnboundProcessError
+from repro.lotos.events import (
+    Event,
+    OccurrencePath,
+    ReceiveAction,
+    SendAction,
+)
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Behaviour,
+    DefBlock,
+    ProcessDefinition,
+    ProcessRef,
+    Specification,
+)
+
+Environment = Mapping[str, Behaviour]
+
+
+def flatten(spec: Specification) -> Tuple[Behaviour, Dict[str, Behaviour]]:
+    """Elaborate ``spec`` into (root behaviour, flat environment).
+
+    Inner definitions shadow outer ones; a shadowed or shadowing name is
+    disambiguated with a ``#k`` suffix, while unambiguous names — the
+    overwhelmingly common case — keep their original spelling, so derived
+    protocol specifications show "the same [process] names" as the
+    service specification, as the paper promises.  Raises
+    :class:`UnboundProcessError` for dangling references.
+    """
+    definitions: Dict[str, Behaviour] = {}
+    used_names: Dict[str, int] = {}
+
+    def unique_name(name: str) -> str:
+        count = used_names.get(name, 0) + 1
+        used_names[name] = count
+        return name if count == 1 else f"{name}#{count}"
+
+    def walk_block(block: DefBlock, scope: Mapping[str, str]) -> Behaviour:
+        local_scope = dict(scope)
+        assigned = {}
+        for definition in block.definitions:
+            qualified = unique_name(definition.name)
+            local_scope[definition.name] = qualified
+            assigned[definition.name] = qualified
+            # Reserve the slot now so outer definitions precede the inner
+            # ones they contain (textual order).
+            definitions.setdefault(qualified, None)
+        for definition in block.definitions:
+            definitions[assigned[definition.name]] = walk_block(
+                definition.body, local_scope
+            )
+        return resolve_refs(block.behaviour, local_scope)
+
+    root = walk_block(spec.root, {})
+    return root, definitions
+
+
+def flatten_spec(spec: Specification) -> Specification:
+    """Rebuild ``spec`` with a single, flat WHERE block.
+
+    The Protocol Generator pipeline runs on flattened specifications:
+    attribute evaluation and derivation then never need scope chains, and
+    the derived entities carry one definition per service process, in
+    stable (definition-order) sequence.
+    """
+    root, definitions = flatten(spec)
+    flat_defs = tuple(
+        ProcessDefinition(name, DefBlock(body)) for name, body in definitions.items()
+    )
+    return Specification(DefBlock(root, flat_defs))
+
+
+def resolve_refs(node: Behaviour, scope: Mapping[str, str]) -> Behaviour:
+    """Rewrite every process reference to its qualified name."""
+    if isinstance(node, ProcessRef):
+        if node.name not in scope:
+            raise UnboundProcessError(node.name)
+        resolved = scope[node.name]
+        if resolved == node.name:
+            return node
+        return ProcessRef(resolved, node.site, node.occurrence, nid=node.nid)
+    children = node.children()
+    if not children:
+        return node
+    new_children = tuple(resolve_refs(child, scope) for child in children)
+    if new_children == children:
+        return node
+    return node.with_children(new_children)
+
+
+def bind_occurrence(node: Behaviour, occurrence: OccurrencePath) -> Behaviour:
+    """Bind the symbolic occurrence ``s`` of ``node`` to ``occurrence``.
+
+    Messages that already carry a concrete occurrence and references that
+    are already bound are left untouched; recursion does not descend into
+    them differently — the rewrite is purely structural and stops nowhere
+    (bodies of referenced processes are bound lazily, at their own
+    instantiation).
+    """
+    if isinstance(node, ProcessRef):
+        if node.occurrence is not None:
+            return node
+        return ProcessRef(
+            node.name, node.site, node.child_occurrence(occurrence), nid=node.nid
+        )
+    if isinstance(node, ActionPrefix):
+        event = _bind_event(node.event, occurrence)
+        continuation = bind_occurrence(node.continuation, occurrence)
+        if event is node.event and continuation is node.continuation:
+            return node
+        return ActionPrefix(event, continuation, nid=node.nid)
+    children = node.children()
+    if not children:
+        return node
+    new_children = tuple(bind_occurrence(child, occurrence) for child in children)
+    if all(new is old for new, old in zip(new_children, children)):
+        return node
+    return node.with_children(new_children)
+
+
+def _bind_event(event: Event, occurrence: OccurrencePath) -> Event:
+    if isinstance(event, SendAction):
+        message = event.message.bind(occurrence)
+        if message is event.message:
+            return event
+        return SendAction(event.dest, message, event.src)
+    if isinstance(event, ReceiveAction):
+        message = event.message.bind(occurrence)
+        if message is event.message:
+            return event
+        return ReceiveAction(event.src, message, event.dest)
+    return event

@@ -1,0 +1,242 @@
+"""Structured operational semantics of the specification language.
+
+The rules are the standard basic-LOTOS ones ([Lotos 89]; see also the
+expansion theorems reproduced in the paper's Annex A):
+
+====================  =====================================================
+construct             transitions
+====================  =====================================================
+``stop``              none
+``exit``              ``exit --delta--> stop``
+``a; B``              ``a; B --a--> B`` (``a`` may be the internal action)
+``B1 [] B2``          every transition of either side (including delta)
+``B1 |[G]| B2``       interleaving for labels outside ``G``; rendezvous
+                      (both sides move together) for labels in ``G`` and
+                      for ``delta``; the internal action never synchronizes
+``B1 >> B2``          non-delta moves of ``B1`` keep the enable; a delta of
+                      ``B1`` becomes an internal move to ``B2``
+``B1 [> B2``          non-delta moves of ``B1`` keep the disable armed; a
+                      delta of ``B1`` terminates the whole (``B2`` is
+                      dropped); any move of ``B2`` disables ``B1``
+``hide G in B``       moves of ``B`` with labels in ``G`` renamed to the
+                      internal action (``delta`` is never hidden)
+``P`` (process ref)   the moves of the bound body of ``P``
+====================  =====================================================
+
+Process references unfold lazily; :class:`Semantics` optionally binds
+occurrence paths during unfolding (needed when executing derived protocol
+entities, harmless but undesirable when analysing *service* trees whose
+nodes must keep symbolic identity — pass ``bind_occurrences=False`` there).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import SemanticsError, UnboundProcessError, UnguardedRecursionError
+from repro.lotos.events import (
+    DELTA,
+    INTERNAL,
+    Delta,
+    Event,
+    InternalAction,
+    Label,
+    ReceiveAction,
+    SendAction,
+)
+from repro.lotos.scope import bind_occurrence, flatten
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Behaviour,
+    Choice,
+    Disable,
+    Empty,
+    Enable,
+    Exit,
+    Hide,
+    Parallel,
+    ProcessRef,
+    Specification,
+    Stop,
+)
+
+Transition = Tuple[Label, Behaviour]
+
+#: Safety bound on consecutive process unfoldings while computing the
+#: transitions of a single expression.  A well-guarded specification
+#: unfolds each reference at most once per nesting level; hitting the
+#: bound indicates unguarded recursion such as ``PROC A = A END``.
+MAX_UNFOLD_DEPTH = 512
+
+
+def _is_delta(label: Label) -> bool:
+    return isinstance(label, Delta)
+
+
+class Semantics:
+    """Transition-function object for a fixed process environment.
+
+    Results are memoized per behaviour expression, which makes repeated
+    LTS exploration over shared subterms cheap.
+    """
+
+    def __init__(
+        self,
+        environment: Optional[Mapping[str, Behaviour]] = None,
+        bind_occurrences: bool = True,
+    ) -> None:
+        self.environment: Mapping[str, Behaviour] = dict(environment or {})
+        self.bind_occurrences = bind_occurrences
+        self._cache: Dict[Behaviour, Tuple[Transition, ...]] = {}
+
+    @classmethod
+    def of_specification(
+        cls, spec: Specification, bind_occurrences: bool = True
+    ) -> Tuple["Semantics", Behaviour]:
+        """Elaborate ``spec`` and return (semantics, root behaviour)."""
+        root, environment = flatten(spec)
+        return cls(environment, bind_occurrences), root
+
+    # ------------------------------------------------------------------
+    def transitions(self, node: Behaviour) -> Tuple[Transition, ...]:
+        """All transitions of ``node``, deduplicated, in stable order."""
+        cached = self._cache.get(node)
+        if cached is None:
+            cached = self._dedup(self._transitions(node, 0))
+            self._cache[node] = cached
+        return cached
+
+    @staticmethod
+    def _dedup(transitions: List[Transition]) -> Tuple[Transition, ...]:
+        seen = set()
+        result = []
+        for transition in transitions:
+            if transition not in seen:
+                seen.add(transition)
+                result.append(transition)
+        return tuple(result)
+
+    # ------------------------------------------------------------------
+    def _transitions(self, node: Behaviour, depth: int) -> List[Transition]:
+        if isinstance(node, Stop):
+            return []
+        if isinstance(node, Exit):
+            return [(DELTA, Stop())]
+        if isinstance(node, Empty):
+            raise SemanticsError(
+                "'empty' has no operational semantics; apply "
+                "repro.core.simplify.simplify before executing"
+            )
+        if isinstance(node, ActionPrefix):
+            return [(node.event, node.continuation)]
+        if isinstance(node, Choice):
+            return self._transitions(node.left, depth) + self._transitions(
+                node.right, depth
+            )
+        if isinstance(node, Parallel):
+            return self._parallel_transitions(node, depth)
+        if isinstance(node, Enable):
+            return self._enable_transitions(node, depth)
+        if isinstance(node, Disable):
+            return self._disable_transitions(node, depth)
+        if isinstance(node, Hide):
+            return self._hide_transitions(node, depth)
+        if isinstance(node, ProcessRef):
+            return self._unfold(node, depth)
+        raise SemanticsError(f"no semantics for node type {type(node).__name__}")
+
+    def _parallel_transitions(self, node: Parallel, depth: int) -> List[Transition]:
+        left_moves = self._transitions(node.left, depth)
+        right_moves = self._transitions(node.right, depth)
+        result: List[Transition] = []
+        for label, residual in left_moves:
+            if not self._synchronizes(node, label):
+                result.append(
+                    (label, Parallel(residual, node.right, node.sync, node.sync_all))
+                )
+        for label, residual in right_moves:
+            if not self._synchronizes(node, label):
+                result.append(
+                    (label, Parallel(node.left, residual, node.sync, node.sync_all))
+                )
+        for left_label, left_residual in left_moves:
+            if not self._synchronizes(node, left_label):
+                continue
+            for right_label, right_residual in right_moves:
+                if right_label == left_label:
+                    result.append(
+                        (
+                            left_label,
+                            Parallel(
+                                left_residual, right_residual, node.sync, node.sync_all
+                            ),
+                        )
+                    )
+        return result
+
+    @staticmethod
+    def _synchronizes(node: Parallel, label: Label) -> bool:
+        if _is_delta(label):
+            return True
+        if isinstance(label, InternalAction):
+            return False
+        if isinstance(label, Event):
+            return node.sync_all or label in node.sync
+        return False
+
+    def _enable_transitions(self, node: Enable, depth: int) -> List[Transition]:
+        result: List[Transition] = []
+        for label, residual in self._transitions(node.left, depth):
+            if _is_delta(label):
+                result.append((INTERNAL, node.right))
+            else:
+                result.append((label, Enable(residual, node.right)))
+        return result
+
+    def _disable_transitions(self, node: Disable, depth: int) -> List[Transition]:
+        result: List[Transition] = []
+        for label, residual in self._transitions(node.left, depth):
+            if _is_delta(label):
+                result.append((label, residual))
+            else:
+                result.append((label, Disable(residual, node.right)))
+        result.extend(self._transitions(node.right, depth))
+        return result
+
+    def _hide_transitions(self, node: Hide, depth: int) -> List[Transition]:
+        result: List[Transition] = []
+        for label, residual in self._transitions(node.body, depth):
+            wrapped = Hide(residual, node.gates, node.hide_messages)
+            if self._is_hidden(node, label):
+                result.append((INTERNAL, wrapped))
+            else:
+                result.append((label, wrapped))
+        return result
+
+    @staticmethod
+    def _is_hidden(node: Hide, label: Label) -> bool:
+        if not isinstance(label, Event):
+            return False
+        if label in node.gates:
+            return True
+        if node.hide_messages and isinstance(label, (SendAction, ReceiveAction)):
+            return True
+        return False
+
+    def _unfold(self, node: ProcessRef, depth: int) -> List[Transition]:
+        if depth >= MAX_UNFOLD_DEPTH:
+            raise UnguardedRecursionError(
+                f"process {node.name!r} unfolded {MAX_UNFOLD_DEPTH} times without "
+                "offering an action; the recursion is probably unguarded"
+            )
+        body = self.environment.get(node.name)
+        if body is None:
+            raise UnboundProcessError(node.name)
+        if self.bind_occurrences:
+            occurrence = (
+                node.occurrence
+                if node.occurrence is not None
+                else node.child_occurrence(())
+            )
+            body = bind_occurrence(body, occurrence)
+        return self._transitions(body, depth + 1)

@@ -1,0 +1,162 @@
+"""Pretty-printer: behaviour ASTs back to the paper's concrete syntax.
+
+The printer emits the minimal parenthesization that reparses to the same
+tree under the precedence of :mod:`repro.lotos.parser` (action prefix
+binds tightest, then ``[]``, the parallel operators, ``[>``, ``>>`` and
+finally ``hide``; all binary operators associate to the right).  The
+round-trip property ``parse(unparse(b)) == b`` is exercised by the test
+suite, including property-based tests over random ASTs.
+
+``compact=True`` renders synchronization messages the way the paper
+prints them (``s2(8)`` — occurrence parameter elided); ``compact=False``
+spells out the occurrence (``s2(s,8)`` or ``s2(<3.5>,8)``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lotos.events import Event, ReceiveAction, SendAction
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Behaviour,
+    Choice,
+    DefBlock,
+    Disable,
+    Empty,
+    Enable,
+    Exit,
+    Hide,
+    Parallel,
+    ProcessDefinition,
+    ProcessRef,
+    Specification,
+    Stop,
+)
+
+# Binding levels, loosest first.  A subexpression is parenthesized when
+# its own level is looser (smaller) than the level its context requires.
+_LEVEL_HIDE = 0
+_LEVEL_ENABLE = 1
+_LEVEL_DISABLE = 2
+_LEVEL_PARALLEL = 3
+_LEVEL_CHOICE = 4
+_LEVEL_SEQ = 5
+_LEVEL_ATOM = 6
+
+
+def _level(node: Behaviour) -> int:
+    if isinstance(node, Hide):
+        return _LEVEL_HIDE
+    if isinstance(node, Enable):
+        return _LEVEL_ENABLE
+    if isinstance(node, Disable):
+        return _LEVEL_DISABLE
+    if isinstance(node, Parallel):
+        return _LEVEL_PARALLEL
+    if isinstance(node, Choice):
+        return _LEVEL_CHOICE
+    if isinstance(node, ActionPrefix):
+        return _LEVEL_SEQ
+    return _LEVEL_ATOM
+
+
+def _render_event(event: Event, compact: bool) -> str:
+    if isinstance(event, (SendAction, ReceiveAction)):
+        return event.render(compact)
+    return str(event)
+
+
+def unparse_behaviour(node: Behaviour, compact: bool = True) -> str:
+    """Render one behaviour expression on a single line."""
+    return _render(node, _LEVEL_HIDE, compact)
+
+
+def _render(node: Behaviour, required: int, compact: bool) -> str:
+    text = _render_node(node, compact)
+    if _level(node) < required:
+        return f"({text})"
+    return text
+
+
+def _render_node(node: Behaviour, compact: bool) -> str:
+    if isinstance(node, Exit):
+        return "exit"
+    if isinstance(node, Stop):
+        return "stop"
+    if isinstance(node, Empty):
+        return "empty"
+    if isinstance(node, ProcessRef):
+        if not compact and node.site is not None:
+            # The invocation-site number seeds occurrence paths (paper
+            # Section 3.5); the full rendering keeps the text a complete
+            # record of the derived protocol.
+            return f"{node.name}({node.site})"
+        return node.name
+    if isinstance(node, ActionPrefix):
+        head = _render_event(node.event, compact)
+        tail = _render(node.continuation, _LEVEL_SEQ, compact)
+        return f"{head}; {tail}"
+    if isinstance(node, Choice):
+        left = _render(node.left, _LEVEL_SEQ, compact)
+        right = _render(node.right, _LEVEL_CHOICE, compact)
+        return f"{left} [] {right}"
+    if isinstance(node, Parallel):
+        left = _render(node.left, _LEVEL_CHOICE, compact)
+        right = _render(node.right, _LEVEL_PARALLEL, compact)
+        return f"{left} {_parallel_op(node, compact)} {right}"
+    if isinstance(node, Disable):
+        left = _render(node.left, _LEVEL_PARALLEL, compact)
+        right = _render(node.right, _LEVEL_DISABLE, compact)
+        return f"{left} [> {right}"
+    if isinstance(node, Enable):
+        left = _render(node.left, _LEVEL_DISABLE, compact)
+        right = _render(node.right, _LEVEL_ENABLE, compact)
+        return f"{left} >> {right}"
+    if isinstance(node, Hide):
+        if node.hide_messages:
+            gates = "messages"
+        else:
+            events = sorted(node.gates, key=lambda e: e.sort_key())
+            gates = ", ".join(_render_event(e, compact) for e in events)
+        body = _render(node.body, _LEVEL_HIDE, compact)
+        return f"hide {gates} in {body}"
+    raise TypeError(f"cannot unparse node of type {type(node).__name__}")
+
+
+def _parallel_op(node: Parallel, compact: bool) -> str:
+    if node.sync_all:
+        return "||"
+    if not node.sync:
+        return "|||"
+    events = sorted(node.sync, key=lambda e: e.sort_key())
+    inner = ", ".join(_render_event(e, compact) for e in events)
+    return f"|[{inner}]|"
+
+
+def _render_def_block(block: DefBlock, indent: int, compact: bool) -> List[str]:
+    pad = "  " * indent
+    lines = [pad + unparse_behaviour(block.behaviour, compact)]
+    if block.definitions:
+        lines.append(pad + "WHERE")
+        for definition in block.definitions:
+            lines.extend(_render_process_def(definition, indent + 1, compact))
+    return lines
+
+
+def _render_process_def(
+    definition: ProcessDefinition, indent: int, compact: bool
+) -> List[str]:
+    pad = "  " * indent
+    lines = [f"{pad}PROC {definition.name} ="]
+    lines.extend(_render_def_block(definition.body, indent + 1, compact))
+    lines.append(pad + "END")
+    return lines
+
+
+def unparse(spec: Specification, compact: bool = True) -> str:
+    """Render a full specification, one construct per line, indented."""
+    lines = ["SPEC"]
+    lines.extend(_render_def_block(spec.root, 1, compact))
+    lines.append("ENDSPEC")
+    return "\n".join(lines) + "\n"

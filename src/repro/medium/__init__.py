@@ -1,0 +1,11 @@
+"""The underlying communication medium (paper Sections 1 and 5.2).
+
+One FIFO channel per ordered pair of places; the medium neither loses,
+duplicates nor reorders messages, and delivers each after an arbitrary
+finite delay (delay nondeterminism is expressed by the scheduler choosing
+*when* a receive fires, so the medium state itself is a pure queue).
+"""
+
+from repro.medium.state import ChannelKey, MediumState, make_medium
+
+__all__ = ["ChannelKey", "MediumState", "make_medium"]

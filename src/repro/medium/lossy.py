@@ -1,0 +1,302 @@
+"""Unreliable media and the error-recovery sublayer (paper Section 6).
+
+The derivation algorithm assumes a reliable FIFO medium.  For the
+unreliable case the paper sketches its future work:
+
+    "it is possible to use our algorithm as a first step (assuming a
+    reliable medium) and then use a procedure which will systematically
+    transform the error-free protocol into an error-recoverable one."
+
+This module implements that layering at the medium level — the classic
+protocol-stack reading of the sentence:
+
+:class:`LossyMedium`
+    the raw fault model: each in-flight message may be dropped (a
+    nondeterministic internal transition).  Derived protocols deadlock
+    over it — the negative control.
+
+:class:`ArqMedium`
+    the recovery sublayer: per-channel stop-and-wait ARQ (send -
+    acknowledge - retransmit, sequence-numbered datagrams, duplicate
+    suppression) running *over* lossy datagram channels while presenting
+    the reliable FIFO interface the derived entities expect.  With a
+    bounded number of losses (the standard fairness assumption) every
+    service execution completes exactly as over the perfect medium.
+
+Both classes expose the :class:`repro.medium.state.MediumState`
+interface (``can_send`` / ``send`` / ``receivable`` / ``receive`` /
+``is_empty`` / ``in_flight``) plus ``internal_transitions()``, which the
+distributed-system composer surfaces as internal moves.  Loss budgets
+keep state spaces finite: a loss consumes one unit, and once the budget
+is exhausted the medium behaves reliably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lotos.events import SyncMessage
+
+ChannelKey = Tuple[int, int]
+
+
+# ----------------------------------------------------------------------
+# Raw lossy datagram medium (negative control).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LossyMedium:
+    """FIFO queues whose messages can silently vanish.
+
+    ``loss_budget`` bounds the total number of drops (keeps exploration
+    finite and models "finitely many transmission errors").
+    """
+
+    channels: Tuple[Tuple[ChannelKey, Tuple[SyncMessage, ...]], ...] = ()
+    loss_budget: int = 2
+    discipline: str = "fifo"
+
+    # -- MediumState interface -----------------------------------------
+    def queue(self, src: int, dest: int) -> Tuple[SyncMessage, ...]:
+        for key, messages in self.channels:
+            if key == (src, dest):
+                return messages
+        return ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.channels
+
+    @property
+    def in_flight(self) -> int:
+        return sum(len(messages) for _, messages in self.channels)
+
+    def iter_messages(self) -> Iterator[Tuple[int, int, SyncMessage]]:
+        for (src, dest), messages in self.channels:
+            for message in messages:
+                yield src, dest, message
+
+    def can_send(self, src: int, dest: int) -> bool:
+        return True
+
+    def send(self, src: int, dest: int, message: SyncMessage) -> "LossyMedium":
+        return self._with_queue((src, dest), self.queue(src, dest) + (message,))
+
+    def receivable(self, src: int, dest: int, message: SyncMessage) -> bool:
+        queue = self.queue(src, dest)
+        if not queue:
+            return False
+        if self.discipline == "fifo":
+            return queue[0] == message
+        return message in queue
+
+    def receive(self, src: int, dest: int, message: SyncMessage) -> "LossyMedium":
+        queue = self.queue(src, dest)
+        if self.discipline == "fifo":
+            if not queue or queue[0] != message:
+                raise ValueError("message not at head")
+            return self._with_queue((src, dest), queue[1:])
+        index = queue.index(message)
+        return self._with_queue((src, dest), queue[:index] + queue[index + 1 :])
+
+    # -- fault model ------------------------------------------------------
+    def internal_transitions(self) -> List[Tuple[str, "LossyMedium"]]:
+        """One drop transition per in-flight message (budget allowing)."""
+        if self.loss_budget <= 0:
+            return []
+        result = []
+        for (src, dest), messages in self.channels:
+            for index in range(len(messages)):
+                dropped = messages[:index] + messages[index + 1 :]
+                new = self._with_queue((src, dest), dropped)
+                new = replace(new, loss_budget=self.loss_budget - 1)
+                result.append((f"lose {messages[index]} on {src}->{dest}", new))
+        return result
+
+    def _with_queue(
+        self, key: ChannelKey, queue: Tuple[SyncMessage, ...]
+    ) -> "LossyMedium":
+        entries = dict(self.channels)
+        if queue:
+            entries[key] = queue
+        else:
+            entries.pop(key, None)
+        return LossyMedium(
+            tuple(sorted(entries.items())), self.loss_budget, self.discipline
+        )
+
+
+# ----------------------------------------------------------------------
+# Stop-and-wait ARQ recovery sublayer.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArqChannel:
+    """State of one simplex channel running stop-and-wait ARQ.
+
+    ``outbox``    messages accepted from the sending entity, unacked;
+    ``seq``       sequence number of ``outbox[0]``'s datagram;
+    ``data_in_flight``  the (seq, message) datagram currently in transit;
+    ``ack_in_flight``   an acknowledgement sequence number in transit;
+    ``expected``  the receiver's next-expected sequence number;
+    ``delivered`` in-order messages awaiting consumption by the entity.
+    """
+
+    outbox: Tuple[SyncMessage, ...] = ()
+    seq: int = 0
+    data_in_flight: Optional[Tuple[int, SyncMessage]] = None
+    ack_in_flight: Optional[int] = None
+    expected: int = 0
+    delivered: Tuple[SyncMessage, ...] = ()
+
+    @property
+    def idle(self) -> bool:
+        return (
+            not self.outbox
+            and self.data_in_flight is None
+            and self.ack_in_flight is None
+            and not self.delivered
+        )
+
+
+@dataclass(frozen=True)
+class ArqMedium:
+    """Reliable FIFO service over lossy datagram channels.
+
+    The entity-facing interface is identical to the perfect medium:
+    ``send`` appends to the channel's outbox, ``receivable``/``receive``
+    operate on the in-order ``delivered`` buffer.  In between, the ARQ
+    machinery advances through :meth:`internal_transitions`:
+
+    * ``transmit``      put the head-of-outbox datagram on the wire
+                        (also serves as retransmission after a loss);
+    * ``deliver-data``  datagram arrives; fresh sequence numbers are
+                        appended to ``delivered`` (duplicates are
+                        suppressed); an acknowledgement is emitted;
+    * ``deliver-ack``   acknowledgement arrives; the head of the outbox
+                        is confirmed and the next message may transmit;
+    * ``lose-data`` / ``lose-ack``  the fault model (budgeted).
+    """
+
+    channels: Tuple[Tuple[ChannelKey, ArqChannel], ...] = ()
+    loss_budget: int = 2
+    discipline: str = "fifo"
+
+    # -- entity-facing interface ---------------------------------------
+    def _channel(self, key: ChannelKey) -> ArqChannel:
+        for existing_key, channel in self.channels:
+            if existing_key == key:
+                return channel
+        return ArqChannel()
+
+    def _with_channel(self, key: ChannelKey, channel: ArqChannel) -> "ArqMedium":
+        entries = dict(self.channels)
+        if channel.idle:
+            entries.pop(key, None)
+        else:
+            entries[key] = channel
+        return ArqMedium(
+            tuple(sorted(entries.items(), key=lambda item: item[0])),
+            self.loss_budget,
+            self.discipline,
+        )
+
+    def can_send(self, src: int, dest: int) -> bool:
+        return True
+
+    def send(self, src: int, dest: int, message: SyncMessage) -> "ArqMedium":
+        channel = self._channel((src, dest))
+        return self._with_channel(
+            (src, dest), replace(channel, outbox=channel.outbox + (message,))
+        )
+
+    def receivable(self, src: int, dest: int, message: SyncMessage) -> bool:
+        delivered = self._channel((src, dest)).delivered
+        if not delivered:
+            return False
+        if self.discipline == "fifo":
+            return delivered[0] == message
+        return message in delivered
+
+    def receive(self, src: int, dest: int, message: SyncMessage) -> "ArqMedium":
+        channel = self._channel((src, dest))
+        delivered = channel.delivered
+        if self.discipline == "fifo":
+            if not delivered or delivered[0] != message:
+                raise ValueError("message not deliverable")
+            remaining = delivered[1:]
+        else:
+            index = delivered.index(message)
+            remaining = delivered[:index] + delivered[index + 1 :]
+        return self._with_channel((src, dest), replace(channel, delivered=remaining))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.channels
+
+    @property
+    def in_flight(self) -> int:
+        return sum(
+            len(channel.outbox) + len(channel.delivered)
+            for _, channel in self.channels
+        )
+
+    def iter_messages(self) -> Iterator[Tuple[int, int, SyncMessage]]:
+        for (src, dest), channel in self.channels:
+            for message in channel.outbox + channel.delivered:
+                yield src, dest, message
+
+    # -- protocol machinery -------------------------------------------
+    def internal_transitions(self) -> List[Tuple[str, "ArqMedium"]]:
+        result: List[Tuple[str, "ArqMedium"]] = []
+        for key, channel in self.channels:
+            src, dest = key
+            # transmit / retransmit
+            if channel.outbox and channel.data_in_flight is None:
+                datagram = (channel.seq, channel.outbox[0])
+                result.append(
+                    (
+                        f"transmit seq={channel.seq} {src}->{dest}",
+                        self._with_channel(
+                            key, replace(channel, data_in_flight=datagram)
+                        ),
+                    )
+                )
+            # deliver data (+ emit ack); duplicates suppressed
+            if channel.data_in_flight is not None and channel.ack_in_flight is None:
+                seq, message = channel.data_in_flight
+                new = replace(channel, data_in_flight=None, ack_in_flight=seq)
+                if seq == channel.expected:
+                    new = replace(
+                        new,
+                        delivered=new.delivered + (message,),
+                        expected=channel.expected + 1,
+                    )
+                result.append(
+                    (f"deliver-data seq={seq} {src}->{dest}", self._with_channel(key, new))
+                )
+            # deliver ack
+            if channel.ack_in_flight is not None:
+                acked = channel.ack_in_flight
+                new = replace(channel, ack_in_flight=None)
+                if channel.outbox and acked == channel.seq:
+                    new = replace(
+                        new, outbox=new.outbox[1:], seq=channel.seq + 1
+                    )
+                result.append(
+                    (f"deliver-ack seq={acked} {src}->{dest}", self._with_channel(key, new))
+                )
+            # faults
+            if self.loss_budget > 0:
+                if channel.data_in_flight is not None:
+                    lossy = self._with_channel(
+                        key, replace(channel, data_in_flight=None)
+                    )
+                    lossy = replace(lossy, loss_budget=self.loss_budget - 1)
+                    result.append((f"lose-data {src}->{dest}", lossy))
+                if channel.ack_in_flight is not None:
+                    lossy = self._with_channel(
+                        key, replace(channel, ack_in_flight=None)
+                    )
+                    lossy = replace(lossy, loss_budget=self.loss_budget - 1)
+                    result.append((f"lose-ack {src}->{dest}", lossy))
+        return result

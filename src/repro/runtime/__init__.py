@@ -1,0 +1,23 @@
+"""Distributed execution of derived protocol entities over the medium.
+
+:mod:`repro.runtime.system` composes n protocol entities with the FIFO
+medium into one transition system — operationally, the paper's
+``hide G in ((PE_1 ||| ... ||| PE_n) |[G]| Medium)``.
+:mod:`repro.runtime.executor` walks single schedules (seeded-random or
+guided); :mod:`repro.runtime.conformance` validates observed service
+traces against the service specification.
+"""
+
+from repro.runtime.system import DistributedSystem, SystemState, build_system
+from repro.runtime.executor import Run, random_run
+from repro.runtime.conformance import check_run, check_trace
+
+__all__ = [
+    "DistributedSystem",
+    "SystemState",
+    "build_system",
+    "Run",
+    "random_run",
+    "check_run",
+    "check_trace",
+]

@@ -1,0 +1,94 @@
+"""Service-conformance checking of observed executions.
+
+A derived protocol is *safe* when every trace of service primitives the
+distributed system can exhibit is a trace the service specification
+allows.  This module checks single observed runs (the executor's output)
+against the service; whole-behaviour comparison lives in
+:mod:`repro.verification`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.lotos.events import DELTA, Label, ServicePrimitive
+from repro.lotos.parser import parse
+from repro.lotos.semantics import Semantics
+from repro.lotos.syntax import Specification
+from repro.lotos.traces import accepts, format_trace
+from repro.runtime.executor import Run
+
+
+@dataclass
+class ConformanceVerdict:
+    """Outcome of checking one observed trace against the service."""
+
+    ok: bool
+    reason: str = ""
+    trace: Sequence[Label] = ()
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:
+        status = "conformant" if self.ok else f"VIOLATION ({self.reason})"
+        return f"{status}: {format_trace(self.trace)}"
+
+
+def check_trace(
+    service: Union[str, Specification],
+    trace: Sequence[ServicePrimitive],
+    terminated: bool = False,
+) -> ConformanceVerdict:
+    """Whether ``trace`` (optionally ending in termination) is allowed.
+
+    ``terminated=True`` additionally requires the service to be able to
+    perform ``delta`` right after the trace — an execution that claims
+    clean termination at a point where the service cannot terminate is a
+    violation even if the primitives themselves were legal.
+    """
+    spec = parse(service) if isinstance(service, str) else service
+    semantics, root = Semantics.of_specification(spec, bind_occurrences=False)
+    labels: list[Label] = list(trace)
+    if terminated:
+        labels.append(DELTA)
+    if accepts(root, semantics, labels):
+        return ConformanceVerdict(True, trace=labels)
+    # Shrink to the shortest refused prefix for a useful diagnostic.
+    for length in range(len(labels) + 1):
+        prefix = labels[:length]
+        if not accepts(root, semantics, prefix):
+            return ConformanceVerdict(
+                False,
+                reason=f"service refuses after {length - 1} accepted events",
+                trace=prefix,
+            )
+    return ConformanceVerdict(False, reason="unreachable", trace=labels)
+
+
+def check_run(
+    service: Union[str, Specification],
+    run: Run,
+    require_progress: bool = True,
+) -> ConformanceVerdict:
+    """Validate one executor run: trace conformance plus liveness flags.
+
+    A deadlocked run is always a violation (the medium is reliable and
+    the service never wedges its users); with ``require_progress`` a
+    truncated run is reported as suspicious rather than conformant.
+    """
+    if run.deadlocked:
+        return ConformanceVerdict(
+            False, reason="distributed system deadlocked", trace=tuple(run.trace)
+        )
+    verdict = check_trace(service, run.trace, terminated=run.terminated)
+    if not verdict.ok:
+        return verdict
+    if run.truncated and require_progress:
+        return ConformanceVerdict(
+            False,
+            reason="run exceeded its step budget without terminating",
+            trace=tuple(run.trace),
+        )
+    return verdict

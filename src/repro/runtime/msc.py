@@ -1,0 +1,137 @@
+"""Message sequence charts of distributed executions.
+
+Renders one schedule of a composed system as a textual MSC — service
+primitives on the entity lifelines, synchronization messages as arrows —
+the classic way to *look at* a protocol (cf. the paper's Fig. 2/5
+architecture pictures):
+
+    place         1            2            3
+    ----------------------------------------------
+    read1       read1 |            |            |
+    msg 7             |---- 7 ---->|            |
+    push2             |      push2 |            |
+    ...
+
+The chart is computed by replaying a seeded schedule with messages
+visible, so it shows matched send/receive pairs with their delays
+(in-flight sections of the arrow's channel).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.lotos.events import (
+    Delta,
+    Label,
+    ReceiveAction,
+    SendAction,
+    ServicePrimitive,
+)
+from repro.runtime.system import DistributedSystem
+
+
+@dataclass
+class MscEvent:
+    """One row of the chart."""
+
+    kind: str  # "primitive" | "send" | "receive" | "delta"
+    label: Label
+    place: Optional[int] = None
+    peer: Optional[int] = None
+
+
+@dataclass
+class MessageSequenceChart:
+    places: Tuple[int, ...]
+    events: List[MscEvent] = field(default_factory=list)
+
+    COLUMN = 14
+
+    def render(self) -> str:
+        header = "place".ljust(18) + "".join(
+            str(place).center(self.COLUMN) for place in self.places
+        )
+        lines = [header, "-" * len(header)]
+        for event in self.events:
+            lines.append(self._render_event(event))
+        return "\n".join(lines)
+
+    def _column_of(self, place: int) -> int:
+        return self.places.index(place)
+
+    def _render_event(self, event: MscEvent) -> str:
+        cells = ["|".center(self.COLUMN) for _ in self.places]
+        tag = ""
+        if event.kind == "primitive":
+            column = self._column_of(event.place)
+            cells[column] = str(event.label).center(self.COLUMN)
+            tag = str(event.label)
+        elif event.kind == "delta":
+            cells = ["X".center(self.COLUMN) for _ in self.places]
+            tag = "terminated"
+        elif event.kind in ("send", "receive"):
+            source = self._column_of(event.place if event.kind == "send" else event.peer)
+            target = self._column_of(event.peer if event.kind == "send" else event.place)
+            low, high = sorted((source, target))
+            message = (
+                event.label.message
+                if isinstance(event.label, (SendAction, ReceiveAction))
+                else ""
+            )
+            body = f" {message} ".center(self.COLUMN - 2, "-")
+            for column in range(low, high + 1):
+                if column == source:
+                    cells[column] = ("*" if event.kind == "send" else "+").center(
+                        self.COLUMN
+                    )
+                elif column == target:
+                    cells[column] = (">" if target > source else "<").center(
+                        self.COLUMN
+                    )
+                else:
+                    cells[column] = body
+            tag = f"{'send' if event.kind == 'send' else 'recv'} {event.label}"
+        return tag[:17].ljust(18) + "".join(cells)
+
+
+def record_schedule(
+    system: DistributedSystem,
+    seed: int = 0,
+    max_steps: int = 2_000,
+    chooser=None,
+) -> MessageSequenceChart:
+    """Replay one schedule and collect its MSC.
+
+    ``system`` must have been built with ``hide=False`` (message labels
+    are needed); raises ``ValueError`` otherwise.
+    """
+    if system.hide:
+        raise ValueError("build the system with hide=False to record an MSC")
+    rng = random.Random(seed)
+    chart = MessageSequenceChart(places=tuple(system.places))
+    state = system.initial
+    for _ in range(max_steps):
+        transitions = system.transitions(state)
+        if not transitions:
+            break
+        index = chooser(state, transitions) if chooser else rng.randrange(
+            len(transitions)
+        )
+        label, state = transitions[index]
+        if isinstance(label, ServicePrimitive):
+            chart.events.append(MscEvent("primitive", label, place=label.place))
+        elif isinstance(label, SendAction):
+            chart.events.append(
+                MscEvent("send", label, place=label.src, peer=label.dest)
+            )
+        elif isinstance(label, ReceiveAction):
+            chart.events.append(
+                MscEvent("receive", label, place=label.dest, peer=label.src)
+            )
+        elif isinstance(label, Delta):
+            chart.events.append(MscEvent("delta", label))
+            break
+    return chart

@@ -1,0 +1,215 @@
+"""Composition of protocol entities with the communication medium.
+
+:class:`DistributedSystem` is a transition-function object over
+:class:`SystemState` (entity behaviours + medium snapshot) with the same
+``transitions(state)`` interface as :class:`repro.lotos.semantics.
+Semantics`, so every analysis in :mod:`repro.lotos.traces` and the LTS
+builder work on whole distributed systems unchanged.
+
+The composition implements, operationally, the right-hand side of the
+paper's correctness theorem::
+
+    hide G in ( (PE_1 ||| PE_2 ||| ... ||| PE_n) |[G]| Medium )
+
+* each entity moves independently (the ``|||``);
+* a send interaction synchronizes with the medium appending to the
+  corresponding channel, a receive with the medium releasing a matching
+  message (the ``|[G]| Medium``);
+* with ``hide=True`` (default) those interactions become internal moves
+  (the ``hide G in``), leaving service primitives and ``delta``
+  observable;
+* ``delta`` happens globally, when every entity offers it — the ``|||``
+  synchronizes on termination in LOTOS.
+
+The paper's Medium processes never terminate, so strictly the composed
+LOTOS term never offers ``delta``; we let the system terminate when all
+*entities* can (the medium is dropped at global termination).  With
+``require_empty_at_exit=True`` termination is additionally gated on all
+channels being drained, which is the honest check for disable-free
+derivations — a leftover message would mean the protocol leaked state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.lotos.events import (
+    DELTA,
+    INTERNAL,
+    Delta,
+    InternalAction,
+    Label,
+    ReceiveAction,
+    SendAction,
+    ServicePrimitive,
+)
+from repro.lotos.scope import bind_occurrence, flatten
+from repro.lotos.semantics import Semantics
+from repro.lotos.syntax import Behaviour, Specification, Stop
+from repro.medium.state import MediumState, make_medium
+
+Transition = Tuple[Label, "SystemState"]
+
+
+@dataclass(frozen=True)
+class SystemState:
+    """One global state: each entity's behaviour plus the medium."""
+
+    entities: Tuple[Behaviour, ...]
+    medium: MediumState
+
+    def replace_entity(self, index: int, behaviour: Behaviour) -> "SystemState":
+        entities = self.entities[:index] + (behaviour,) + self.entities[index + 1 :]
+        return SystemState(entities, self.medium)
+
+    def with_medium(self, medium: MediumState) -> "SystemState":
+        return SystemState(self.entities, medium)
+
+
+class DistributedSystem:
+    """Transition function for n entities + medium.
+
+    ``hide=True`` maps message interactions to the internal action
+    (verification view); ``hide=False`` keeps them observable in long
+    form (``s^i_j(m)``), which is how the message-complexity experiments
+    count traffic.
+    """
+
+    def __init__(
+        self,
+        places: Sequence[int],
+        semantics: Sequence[Semantics],
+        initial: SystemState,
+        hide: bool = True,
+        require_empty_at_exit: bool = True,
+    ) -> None:
+        if len(places) != len(initial.entities) or len(places) != len(semantics):
+            raise ExecutionError("places, semantics and entities must align")
+        self.places = tuple(places)
+        self._semantics = tuple(semantics)
+        self.initial = initial
+        self.hide = hide
+        self.require_empty_at_exit = require_empty_at_exit
+        self._index_of: Dict[int, int] = {
+            place: index for index, place in enumerate(self.places)
+        }
+        self._cache: Dict[SystemState, Tuple[Transition, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def transitions(self, state: SystemState) -> Tuple[Transition, ...]:
+        cached = self._cache.get(state)
+        if cached is None:
+            cached = tuple(self._transitions(state))
+            self._cache[state] = cached
+        return cached
+
+    def _transitions(self, state: SystemState) -> List[Transition]:
+        result: List[Transition] = []
+        delta_residuals: List[Optional[Behaviour]] = []
+        for index, behaviour in enumerate(state.entities):
+            place = self.places[index]
+            delta_residual: Optional[Behaviour] = None
+            for label, residual in self._semantics[index].transitions(behaviour):
+                if isinstance(label, Delta):
+                    delta_residual = residual
+                    continue
+                transition = self._entity_move(state, index, place, label, residual)
+                if transition is not None:
+                    result.append(transition)
+            delta_residuals.append(delta_residual)
+        if all(residual is not None for residual in delta_residuals):
+            if not self.require_empty_at_exit or state.medium.is_empty:
+                # Normalize to literal stops: the delta residual of e.g.
+                # ``exit ||| exit`` is ``stop ||| stop``, behaviourally
+                # stop but structurally distinct — collapsing makes
+                # global termination a single canonical state that
+                # ``is_terminated`` recognizes.
+                terminated = SystemState(
+                    tuple(Stop() for _ in delta_residuals), state.medium
+                )
+                result.append((DELTA, terminated))
+        # Media with internal machinery (ARQ recovery, loss faults)
+        # contribute their own moves as internal steps.
+        internal = getattr(state.medium, "internal_transitions", None)
+        if internal is not None:
+            for _description, new_medium in internal():
+                result.append((INTERNAL, state.with_medium(new_medium)))
+        return result
+
+    def _entity_move(
+        self,
+        state: SystemState,
+        index: int,
+        place: int,
+        label: Label,
+        residual: Behaviour,
+    ) -> Optional[Transition]:
+        if isinstance(label, ServicePrimitive):
+            return label, state.replace_entity(index, residual)
+        if isinstance(label, InternalAction):
+            return INTERNAL, state.replace_entity(index, residual)
+        if isinstance(label, SendAction):
+            if not state.medium.can_send(place, label.dest):
+                return None
+            medium = state.medium.send(place, label.dest, label.message)
+            visible: Label = INTERNAL if self.hide else label.with_src(place)
+            return visible, state.replace_entity(index, residual).with_medium(medium)
+        if isinstance(label, ReceiveAction):
+            if not state.medium.receivable(label.src, place, label.message):
+                return None
+            medium = state.medium.receive(label.src, place, label.message)
+            visible = INTERNAL if self.hide else label.with_dest(place)
+            return visible, state.replace_entity(index, residual).with_medium(medium)
+        raise ExecutionError(f"entity at place {place} offered unexpected {label}")
+
+    # ------------------------------------------------------------------
+    def is_terminated(self, state: SystemState) -> bool:
+        return all(isinstance(entity, Stop) for entity in state.entities)
+
+    def enabled(self, state: SystemState) -> Tuple[Transition, ...]:
+        return self.transitions(state)
+
+
+def build_system(
+    entities: Mapping[int, Specification],
+    capacity: Optional[int] = None,
+    discipline: str = "fifo",
+    hide: bool = True,
+    use_occurrences: bool = True,
+    require_empty_at_exit: bool = True,
+    medium: Optional[object] = None,
+) -> DistributedSystem:
+    """Compose derived entity specifications into a distributed system.
+
+    ``use_occurrences=False`` runs the entities without the Section 3.5
+    occurrence parameterization (all messages carry the symbolic
+    occurrence).  That keeps tail-recursive systems finite-state — at the
+    price of instance ambiguity, which experiment E7 demonstrates.
+
+    ``medium`` overrides the default perfect-FIFO medium with any object
+    implementing the medium interface — e.g.
+    :class:`repro.medium.lossy.LossyMedium` (fault injection) or
+    :class:`repro.medium.lossy.ArqMedium` (the Section 6 error-recovery
+    sublayer over lossy channels).
+    """
+    places = sorted(entities)
+    semantics_list: List[Semantics] = []
+    roots: List[Behaviour] = []
+    for place in places:
+        root, environment = flatten(entities[place])
+        semantics_list.append(
+            Semantics(environment, bind_occurrences=use_occurrences)
+        )
+        roots.append(bind_occurrence(root, ()) if use_occurrences else root)
+    if medium is None:
+        medium = make_medium(capacity, discipline)
+    initial = SystemState(tuple(roots), medium)
+    return DistributedSystem(
+        places,
+        semantics_list,
+        initial,
+        hide=hide,
+        require_empty_at_exit=require_empty_at_exit,
+    )

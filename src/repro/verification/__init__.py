@@ -1,0 +1,27 @@
+"""Verification of the correctness theorem (paper Section 5).
+
+    S  ≈  hide G in ( (T1(S) ||| T2(S) ||| ... ||| Tn(S)) |[G]| Medium )
+
+Two independent implementations of the right-hand side are provided:
+
+* the *operational* composition of :mod:`repro.runtime.system`
+  (entities + medium queues as one transition system), and
+* the *term-level* composition of :mod:`repro.verification.composition`,
+  which builds the literal LOTOS expression of Section 5.2 — capacity-1
+  ``Channel_jk`` processes, explicit gate set ``G``, ``hide`` — and runs
+  it through the ordinary LOTOS semantics.
+
+:mod:`repro.verification.checker` compares either against the service:
+exact observation congruence for finite-state systems, bounded weak-trace
+equivalence otherwise.
+"""
+
+from repro.verification.checker import VerificationReport, verify_derivation
+from repro.verification.composition import compose_term, message_alphabet
+
+__all__ = [
+    "VerificationReport",
+    "verify_derivation",
+    "compose_term",
+    "message_alphabet",
+]

@@ -1,0 +1,208 @@
+"""The literal Section 5.2 composition as one LOTOS term.
+
+The paper proves its theorem against an explicit medium specification::
+
+    Channel_jk = []_{m in M} ( s_jk(m) ; r_kj(m) ; Channel_jk )
+    Medium     = |||_{j,k}  Channel_jk
+
+with ``G = { s_ij(m), r_ji(m) | i != j, m in M }`` and at most one
+message in transit per channel.  :func:`compose_term` builds::
+
+    hide G in ( (T1 ||| ... ||| Tn) |[G]| Medium )
+
+as an ordinary behaviour expression over the long-form send/receive
+events, so the standard LOTOS semantics executes it — a second,
+independent realization of the distributed system that the tests compare
+against the queue-based runtime composition.
+
+Message alphabets are finite only for non-recursive entity
+specifications (occurrence paths grow without bound under recursion);
+:func:`message_alphabet` therefore expands process references with cycle
+detection and reports recursion as unsupported for this composition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.errors import VerificationError
+from repro.lotos.events import (
+    Event,
+    ReceiveAction,
+    SendAction,
+)
+from repro.lotos.scope import bind_occurrence, flatten
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Behaviour,
+    Hide,
+    Parallel,
+    ProcessRef,
+    Specification,
+)
+
+#: (sender, receiver, message) triples.
+Alphabet = FrozenSet[Tuple[int, int, object]]
+
+
+def annotate_entity(root: Behaviour, place: int) -> Behaviour:
+    """Convert an entity's short-form interactions to long form.
+
+    Inside entity ``p``, ``s_j(m)`` means "p sends to j" and ``r_i(m)``
+    means "p receives from i"; composition needs the sender/receiver
+    explicit on every event.
+    """
+    if isinstance(root, ActionPrefix):
+        event = root.event
+        if isinstance(event, SendAction) and event.src is None:
+            event = event.with_src(place)
+        elif isinstance(event, ReceiveAction) and event.dest is None:
+            event = event.with_dest(place)
+        return ActionPrefix(
+            event, annotate_entity(root.continuation, place), nid=root.nid
+        )
+    children = root.children()
+    if not children:
+        return root
+    return root.with_children(
+        tuple(annotate_entity(child, place) for child in children)
+    )
+
+
+def _expand_entity(spec: Specification, place: int) -> Behaviour:
+    """Inline every process reference (non-recursive specs only).
+
+    Occurrence paths are bound during inlining exactly as the runtime
+    binds them at instantiation, so the resulting closed term carries the
+    same concrete message identities.
+    """
+    root, definitions = flatten(spec)
+
+    def expand(node: Behaviour, stack: Tuple[str, ...]) -> Behaviour:
+        if isinstance(node, ProcessRef):
+            if node.name in stack:
+                raise VerificationError(
+                    f"entity for place {place} is recursive (process "
+                    f"{node.name!r}); the term-level composition needs a "
+                    "finite message alphabet — use the runtime composition "
+                    "or bounded trace comparison instead"
+                )
+            body = definitions.get(node.name)
+            if body is None:
+                raise VerificationError(f"undefined process {node.name!r}")
+            occurrence = (
+                node.occurrence
+                if node.occurrence is not None
+                else node.child_occurrence(())
+            )
+            return expand(
+                bind_occurrence(body, occurrence), stack + (node.name,)
+            )
+        children = node.children()
+        if not children:
+            return node
+        return node.with_children(
+            tuple(expand(child, stack) for child in children)
+        )
+
+    return expand(bind_occurrence(root, ()), ())
+
+
+def message_alphabet(
+    entities: Dict[int, Specification]
+) -> Tuple[Dict[int, Behaviour], Alphabet]:
+    """Closed (inlined, annotated) entity terms and their message triples."""
+    closed: Dict[int, Behaviour] = {}
+    triples: Set[Tuple[int, int, object]] = set()
+    for place, spec in entities.items():
+        term = annotate_entity(_expand_entity(spec, place), place)
+        closed[place] = term
+        for node in term.walk():
+            if isinstance(node, ActionPrefix):
+                event = node.event
+                if isinstance(event, SendAction):
+                    triples.add((event.src, event.dest, event.message))
+                elif isinstance(event, ReceiveAction):
+                    # (sender, receiver, message): the receive names its
+                    # sender in ``src`` and was annotated with the
+                    # receiving place in ``dest``.
+                    triples.add((event.src, event.dest, event.message))
+    return closed, frozenset(triples)
+
+
+def _channel_body(src: int, dest: int, messages: List[object]) -> Behaviour:
+    """``[]_m ( s_ij(m); r_ji(m); Channel_ij ) [] exit`` (capacity one).
+
+    The ``[] exit`` alternative is a deliberate deviation from the
+    literal Section 5.2 channel: the paper's channels never terminate,
+    so the *composed term* could never perform ``delta`` even though the
+    service does (the proof sidesteps this by splitting the medium along
+    the ``>>`` structure).  Letting an *idle* channel terminate makes
+    global termination possible exactly when every entity has terminated
+    and no message is in flight — the same policy as the runtime
+    composition's ``require_empty_at_exit``.
+    """
+    from repro.lotos.syntax import Choice, Exit
+
+    name = f"Channel{src}X{dest}"
+    alternatives: List[Behaviour] = [
+        ActionPrefix(
+            SendAction(dest=dest, message=message, src=src),
+            ActionPrefix(
+                ReceiveAction(src=src, message=message, dest=dest),
+                ProcessRef(name, site=0),
+            ),
+        )
+        for message in messages
+    ]
+    body: Behaviour = Exit()
+    for alternative in reversed(alternatives):
+        body = Choice(alternative, body)
+    return body
+
+
+def compose_term(
+    entities: Dict[int, Specification],
+) -> Tuple[Behaviour, Dict[str, Behaviour], FrozenSet[Event]]:
+    """Build ``hide G in ((T1 ||| ... ||| Tn) |[G]| Medium)``.
+
+    Returns ``(term, process_environment, G)``; run the term with
+    ``Semantics(process_environment, bind_occurrences=False)`` — all
+    occurrences are already concrete after inlining.
+    """
+    closed, triples = message_alphabet(entities)
+    if not closed:
+        raise VerificationError("no entities to compose")
+
+    gate_set: Set[Event] = set()
+    per_channel: Dict[Tuple[int, int], List[object]] = {}
+    for src, dest, message in sorted(
+        triples, key=lambda t: (t[0], t[1], t[2].sort_key())
+    ):
+        gate_set.add(SendAction(dest=dest, message=message, src=src))
+        gate_set.add(ReceiveAction(src=src, message=message, dest=dest))
+        per_channel.setdefault((src, dest), []).append(message)
+
+    environment: Dict[str, Behaviour] = {}
+    channel_terms: List[Behaviour] = []
+    for (src, dest), messages in sorted(per_channel.items()):
+        name = f"Channel{src}X{dest}"
+        environment[name] = _channel_body(src, dest, messages)
+        channel_terms.append(ProcessRef(name, site=0))
+
+    entity_terms = [closed[place] for place in sorted(closed)]
+    entities_par = _interleave_all(entity_terms)
+    gates = frozenset(gate_set)
+    if channel_terms:
+        medium = _interleave_all(channel_terms)
+        composed: Behaviour = Parallel(entities_par, medium, sync=gates)
+    else:
+        composed = entities_par
+    return Hide(composed, gates=gates), environment, gates
+
+
+def _interleave_all(terms: List[Behaviour]) -> Behaviour:
+    result = terms[-1]
+    for term in reversed(terms[:-1]):
+        result = Parallel(term, result)
+    return result

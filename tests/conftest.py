@@ -1,0 +1,79 @@
+"""Shared fixtures: the paper's example services, pre-derived.
+
+Derivation results are session-scoped — they are immutable and several
+test modules exercise different aspects of the same examples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generator import DerivationResult, derive_protocol
+
+#: Example 2 (Section 2): the non-regular (a1)^n (b2)^n service.
+EXAMPLE2 = """
+SPEC A WHERE
+  PROC A = (a1; A >> b2; exit) [] (a1; b2; exit)
+END ENDSPEC
+"""
+
+#: Example 3 (Section 2): reversed file copy with interrupt.
+EXAMPLE3 = """
+SPEC S [> interrupt3; exit WHERE
+  PROC S = (read1; push2; S >> pop2; write3; exit)
+        [] (eof1; make3; exit) END
+ENDSPEC
+"""
+
+#: Example 4 (Section 3.1): the minimal cross-place sequence.
+EXAMPLE4 = "SPEC a1; exit >> b2; exit ENDSPEC"
+
+#: Example 5 (Section 3.2): recursion inside a choice — the situation
+#: that motivates the Alternative synchronization.
+EXAMPLE5 = """
+SPEC A WHERE
+  PROC A = (a1; b2; A >> c2; d3; exit) [] (e1; f3; exit)
+END ENDSPEC
+"""
+
+#: Example 6 (Section 3.3): disabling a three-place sequence.  The
+#: paper's sketch writes "(d3; ... exit)"; the elided part must end at
+#: place 3 to satisfy R2.
+EXAMPLE6 = "SPEC (a1; b2; c3; exit) [> (d3; exit) ENDSPEC"
+
+#: Example 7 (Section 3.5): two instances of the same process.
+EXAMPLE7 = """
+SPEC B ||| B WHERE
+  PROC B = (a1; (b2; exit ||| c3; exit)) >> g4; exit
+END ENDSPEC
+"""
+
+
+@pytest.fixture(scope="session")
+def example2() -> DerivationResult:
+    return derive_protocol(EXAMPLE2)
+
+
+@pytest.fixture(scope="session")
+def example3() -> DerivationResult:
+    return derive_protocol(EXAMPLE3)
+
+
+@pytest.fixture(scope="session")
+def example4() -> DerivationResult:
+    return derive_protocol(EXAMPLE4)
+
+
+@pytest.fixture(scope="session")
+def example5() -> DerivationResult:
+    return derive_protocol(EXAMPLE5)
+
+
+@pytest.fixture(scope="session")
+def example6() -> DerivationResult:
+    return derive_protocol(EXAMPLE6)
+
+
+@pytest.fixture(scope="session")
+def example7() -> DerivationResult:
+    return derive_protocol(EXAMPLE7)

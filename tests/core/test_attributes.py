@@ -1,0 +1,239 @@
+"""Attribute evaluation tests: Table 2 rules, Fig. 4, fixed points (E3)."""
+
+import pytest
+
+from repro.core.attributes import (
+    Attrs,
+    evaluate_attributes,
+    number_nodes,
+    places_of,
+)
+from repro.errors import AttributeEvaluationError
+from repro.lotos.parser import parse, parse_behaviour
+from repro.lotos.scope import flatten_spec
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Choice,
+    Disable,
+    Enable,
+    Parallel,
+    ProcessRef,
+    Specification,
+    DefBlock,
+)
+
+
+def attributed(text):
+    spec = number_nodes(flatten_spec(parse(text)))
+    return spec, evaluate_attributes(spec)
+
+
+def root_attrs(text):
+    spec, table = attributed(text)
+    return table.of(spec.root.behaviour)
+
+
+class TestNumbering:
+    def test_preorder_and_uniqueness(self):
+        spec = number_nodes(flatten_spec(parse(
+            "SPEC a1; b2; exit [] c1; exit ENDSPEC"
+        )))
+        nids = [node.nid for node in spec.walk_behaviours()]
+        assert nids == sorted(nids)
+        assert len(set(nids)) == len(nids)
+        assert nids[0] == 1
+
+    def test_numbering_covers_definitions(self):
+        spec = number_nodes(flatten_spec(parse(
+            "SPEC A WHERE PROC A = a1; exit END ENDSPEC"
+        )))
+        all_nids = [node.nid for node in spec.walk_behaviours()]
+        assert None not in all_nids
+
+    def test_reference_site_equals_nid(self):
+        spec = number_nodes(flatten_spec(parse("SPEC a1; B WHERE PROC B = b2; exit END ENDSPEC")))
+        refs = [n for n in spec.walk_behaviours() if isinstance(n, ProcessRef)]
+        assert refs and all(ref.site == ref.nid for ref in refs)
+
+
+class TestBasicRules:
+    def test_rule_17_event_exit(self):
+        attrs = root_attrs("SPEC a1; exit ENDSPEC")
+        assert attrs == Attrs.single(1)
+
+    def test_rule_16_sequence(self):
+        attrs = root_attrs("SPEC a1; b2; exit ENDSPEC")
+        assert sorted(attrs.sp) == [1]
+        assert sorted(attrs.ep) == [2]
+        assert sorted(attrs.ap) == [1, 2]
+
+    def test_choice_union(self):
+        attrs = root_attrs("SPEC a1; b2; exit [] c1; d2; exit ENDSPEC")
+        assert sorted(attrs.sp) == [1]
+        assert sorted(attrs.ep) == [2]
+        assert sorted(attrs.ap) == [1, 2]
+
+    def test_parallel_union(self):
+        attrs = root_attrs("SPEC a1; exit ||| b2; exit ENDSPEC")
+        assert sorted(attrs.sp) == [1, 2]
+        assert sorted(attrs.ep) == [1, 2]
+
+    def test_enable(self):
+        attrs = root_attrs("SPEC a1; exit >> b2; exit ENDSPEC")
+        assert sorted(attrs.sp) == [1]
+        assert sorted(attrs.ep) == [2]
+        assert sorted(attrs.ap) == [1, 2]
+
+    def test_disable(self):
+        attrs = root_attrs("SPEC a1; b3; exit [> d3; exit ENDSPEC")
+        assert sorted(attrs.sp) == [1, 3]
+        assert sorted(attrs.ep) == [3]
+        assert sorted(attrs.ap) == [1, 3]
+
+
+class TestFixedPoint:
+    def test_tail_recursion(self):
+        spec, table = attributed(
+            "SPEC A WHERE PROC A = a1; A [] b2; exit END ENDSPEC"
+        )
+        process = table.by_process["A"]
+        assert sorted(process.sp) == [1, 2]
+        assert sorted(process.ap) == [1, 2]
+
+    def test_mutual_recursion(self):
+        spec, table = attributed(
+            "SPEC A WHERE PROC A = a1; B END PROC B = b2; A [] c3; exit END ENDSPEC"
+        )
+        assert sorted(table.by_process["A"].ap) == [1, 2, 3]
+        assert sorted(table.by_process["B"].ap) == [1, 2, 3]
+
+    def test_iteration_terminates_quickly(self):
+        spec, table = attributed(
+            "SPEC A WHERE PROC A = a1; B END PROC B = b2; C END "
+            "PROC C = c3; A [] d4; exit END ENDSPEC"
+        )
+        assert table.iterations < 10
+
+    def test_unused_process_not_in_all(self):
+        spec, table = attributed(
+            "SPEC a1; exit WHERE PROC Z = z9; exit END ENDSPEC"
+        )
+        assert sorted(table.all_places) == [1]
+        # but syntactic helper still sees it
+        assert 9 in places_of(spec)
+
+
+class TestFig4Example3:
+    """The paper's Figure 4: the attributed derivation tree of Example 3."""
+
+    TEXT = """SPEC S [> interrupt3; exit WHERE
+        PROC S = (read1; push2; S >> pop2; write3; exit)
+              [] (eof1; make3; exit) END
+    ENDSPEC"""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        return attributed(self.TEXT)
+
+    def test_process_attributes(self, setup):
+        _, table = setup
+        process = table.by_process["S"]
+        assert sorted(process.sp) == [1]
+        assert sorted(process.ep) == [3]
+        assert sorted(process.ap) == [1, 2, 3]
+
+    def test_all_places(self, setup):
+        _, table = setup
+        assert sorted(table.all_places) == [1, 2, 3]
+
+    def _node(self, spec, predicate):
+        for node in spec.walk_behaviours():
+            if predicate(node):
+                return node
+        raise AssertionError("node not found")
+
+    def test_root_disable_attrs(self, setup):
+        spec, table = setup
+        root = spec.root.behaviour
+        assert isinstance(root, Disable)
+        attrs = table.of(root)
+        assert (sorted(attrs.sp), sorted(attrs.ep), sorted(attrs.ap)) == (
+            [1, 3],
+            [3],
+            [1, 2, 3],
+        )
+
+    def test_interrupt_prefix_attrs(self, setup):
+        spec, table = setup
+        node = self._node(
+            spec,
+            lambda n: isinstance(n, ActionPrefix) and str(n.event) == "interrupt3",
+        )
+        assert table.of(node) == Attrs.single(3)
+
+    def test_left_branch_attrs(self, setup):
+        # read1; push2; S : SP {1}, EP {3}, AP {1,2,3}  (Fig. 4 node 7)
+        spec, table = setup
+        node = self._node(
+            spec,
+            lambda n: isinstance(n, ActionPrefix) and str(n.event) == "read1",
+        )
+        attrs = table.of(node)
+        assert (sorted(attrs.sp), sorted(attrs.ep), sorted(attrs.ap)) == (
+            [1],
+            [3],
+            [1, 2, 3],
+        )
+
+    def test_pop_branch_attrs(self, setup):
+        # pop2; write3; exit : SP {2}, EP {3}, AP {2,3}  (Fig. 4 node 10)
+        spec, table = setup
+        node = self._node(
+            spec,
+            lambda n: isinstance(n, ActionPrefix) and str(n.event) == "pop2",
+        )
+        attrs = table.of(node)
+        assert (sorted(attrs.sp), sorted(attrs.ep), sorted(attrs.ap)) == (
+            [2],
+            [3],
+            [2, 3],
+        )
+
+    def test_eof_branch_attrs(self, setup):
+        # eof1; make3; exit : SP {1}, EP {3}, AP {1,3}  (Fig. 4 node 16)
+        spec, table = setup
+        node = self._node(
+            spec,
+            lambda n: isinstance(n, ActionPrefix) and str(n.event) == "eof1",
+        )
+        attrs = table.of(node)
+        assert (sorted(attrs.sp), sorted(attrs.ep), sorted(attrs.ap)) == (
+            [1],
+            [3],
+            [1, 3],
+        )
+
+
+class TestErrors:
+    def test_internal_action_is_transparent(self):
+        # Illegal in services (the restriction checker flags it), but the
+        # attribute pass stays total: 'i' contributes no place.
+        attrs = root_attrs("SPEC i; a1; exit ENDSPEC")
+        assert attrs == Attrs.single(1)
+
+    def test_send_is_transparent(self):
+        attrs = root_attrs("SPEC s2(1); a1; exit ENDSPEC")
+        assert attrs == Attrs.single(1)
+
+    def test_undefined_process(self):
+        spec = number_nodes(
+            Specification(DefBlock(ProcessRef("Ghost")))
+        )
+        with pytest.raises(AttributeEvaluationError):
+            evaluate_attributes(spec)
+
+    def test_unnumbered_node_rejected(self):
+        spec = flatten_spec(parse("SPEC a1; exit ENDSPEC"))
+        table = evaluate_attributes(number_nodes(spec))
+        with pytest.raises(AttributeEvaluationError):
+            table.of(parse_behaviour("a1; exit"))

@@ -1,0 +1,127 @@
+"""Interaction-parameter data-flow tests (the [Gotz 90] extension)."""
+
+import pytest
+
+from repro.core.dataflow import analyze_parameters
+from repro.core.generator import derive_protocol
+from repro.lotos.events import ServicePrimitive
+from repro.lotos.parser import parse_behaviour
+from repro.lotos.unparse import unparse_behaviour
+
+
+class TestParameterSyntax:
+    def test_single_parameter(self):
+        node = parse_behaviour("read1(rec); exit")
+        assert node.event == ServicePrimitive("read", 1, ("rec",))
+
+    def test_multiple_parameters(self):
+        node = parse_behaviour("xfer2(src, dst); exit")
+        assert node.event.params == ("src", "dst")
+
+    def test_round_trip(self):
+        text = "read1(rec); push2(rec); exit"
+        node = parse_behaviour(text)
+        assert parse_behaviour(unparse_behaviour(node)) == node
+
+    def test_parameterless_primitives_unchanged(self):
+        assert parse_behaviour("a1; exit").event.params == ()
+
+    def test_parameters_do_not_affect_derivation_structure(self):
+        plain = derive_protocol("SPEC read1; push2; exit ENDSPEC")
+        parameterized = derive_protocol("SPEC read1(r); push2(r); exit ENDSPEC")
+        assert plain.entity_text(2).replace("push2", "x") == parameterized.entity_text(
+            2
+        ).replace("push2(r)", "x")
+
+
+class TestPiggybacking:
+    def test_sequence_flow(self):
+        result = derive_protocol(
+            "SPEC read1(rec); push2(rec); write3(rec); exit ENDSPEC"
+        )
+        report = analyze_parameters(result)
+        assert report.satisfied
+        first = report.payload_of(1, 1)
+        second = report.payload_of(2, 2)
+        assert first and "rec" in first.variables
+        assert second and "rec" in second.variables
+
+    def test_local_consumption_needs_no_payload(self):
+        result = derive_protocol("SPEC read1(rec); copy1(rec); b2; exit ENDSPEC")
+        report = analyze_parameters(result)
+        assert report.satisfied
+        assert all(not payload.variables for payload in report.payloads)
+
+    def test_dead_value_not_carried(self):
+        # rec is produced and never consumed elsewhere: no message carries it.
+        result = derive_protocol("SPEC read1(rec); b2; c3; exit ENDSPEC")
+        report = analyze_parameters(result)
+        assert report.satisfied
+        assert all(not payload.variables for payload in report.payloads)
+
+    def test_enable_boundary_flow(self):
+        result = derive_protocol(
+            "SPEC a1(v); exit >> b2(v); exit ENDSPEC"
+        )
+        report = analyze_parameters(result)
+        assert report.satisfied
+        (payload,) = [p for p in report.payloads if p.variables]
+        assert payload.sender == 1 and 2 in payload.receivers
+
+    def test_transitive_flow_through_relay(self):
+        # v travels 1 -> 2 -> 3 although 2 never uses it.
+        result = derive_protocol("SPEC a1(v); b2; c3(v); exit ENDSPEC")
+        report = analyze_parameters(result)
+        assert report.satisfied
+        hop12 = report.payload_of(1, 1)
+        hop23 = report.payload_of(2, 2)
+        assert "v" in hop12.variables and "v" in hop23.variables
+
+    def test_recursive_file_copy(self):
+        service = """SPEC S WHERE
+          PROC S = (read1(rec); push2(rec); S >> pop2(out); write3(out); exit)
+                [] (eof1; make3; exit) END
+        ENDSPEC"""
+        result = derive_protocol(service)
+        report = analyze_parameters(result)
+        assert report.satisfied
+        carried = {
+            variable
+            for payload in report.payloads
+            for variable in payload.variables
+        }
+        assert carried == {"rec", "out"}
+
+
+class TestUnreachable:
+    def test_cross_branch_consumption_flagged(self):
+        result = derive_protocol(
+            "SPEC (a1(v); b2(v); exit) [] (c1; d2(v); exit) ENDSPEC"
+        )
+        report = analyze_parameters(result)
+        assert not report.satisfied
+        (unreachable,) = report.unreachable
+        assert unreachable.variable == "v"
+        assert unreachable.place == 2
+
+    def test_no_message_path_flagged(self):
+        # v produced at 1, consumed at 3, but 1 and 3 never synchronize:
+        # a1 and c3 run in parallel with no ordering message.
+        result = derive_protocol("SPEC a1(v); b1; exit ||| c3(v); d3; exit ENDSPEC")
+        report = analyze_parameters(result)
+        assert not report.satisfied
+
+    def test_report_rendering(self):
+        result = derive_protocol(
+            "SPEC (a1(v); b2(v); exit) [] (c1; d2(v); exit) ENDSPEC"
+        )
+        text = analyze_parameters(result).render()
+        assert "UNREACHABLE" in text and "extra message exchange" in text
+
+
+class TestNoParameters:
+    def test_empty_report(self):
+        result = derive_protocol("SPEC a1; b2; exit ENDSPEC")
+        report = analyze_parameters(result)
+        assert report.satisfied
+        assert not report.producers and not report.payloads

@@ -1,0 +1,306 @@
+"""Derivation tests against the paper's printed results (E2-E6).
+
+Node numbers in messages are our preorder numbering, which differs by a
+constant shift from the paper's Figure 4 numbering (the paper also
+allocates some message identifiers beyond the displayed tree).  The
+*structure* — which places exchange which messages around which local
+events — is asserted to match the paper's printed derivations exactly.
+"""
+
+import pytest
+
+from repro.core.derivation import Deriver
+from repro.core.generator import derive_protocol
+from repro.lotos.events import ReceiveAction, SendAction, ServicePrimitive
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Choice,
+    Disable,
+    Enable,
+    Exit,
+    Parallel,
+    ProcessRef,
+)
+from repro.lotos.unparse import unparse_behaviour
+
+
+def entity_root(result, place):
+    return result.entity(place).behaviour
+
+
+def entity_process(result, place, name):
+    for definition in result.entity(place).definitions:
+        if definition.name == name:
+            return definition.body.behaviour
+    raise AssertionError(f"no process {name} at place {place}")
+
+
+def events_in(node):
+    return [n.event for n in node.walk() if isinstance(n, ActionPrefix)]
+
+
+def primitives_in(node):
+    return [e for e in events_in(node) if isinstance(e, ServicePrimitive)]
+
+
+def sends_in(node):
+    return [e for e in events_in(node) if isinstance(e, SendAction)]
+
+
+def receives_in(node):
+    return [e for e in events_in(node) if isinstance(e, ReceiveAction)]
+
+
+class TestExample4Sequence:
+    """Section 3.1: a1; exit >> b2; exit."""
+
+    def test_place_1(self, example4):
+        root = entity_root(example4, 1)
+        # a1; exit >> (s2(x); exit)
+        assert unparse_behaviour(root) == "a1; exit >> s2(2); exit"
+
+    def test_place_2(self, example4):
+        root = entity_root(example4, 2)
+        # (r1(x); exit) >> b2; exit
+        assert unparse_behaviour(root) == "r1(2); exit >> b2; exit"
+
+    def test_message_identities_pair_up(self, example4):
+        (send,) = sends_in(entity_root(example4, 1))
+        (receive,) = receives_in(entity_root(example4, 2))
+        assert send.message == receive.message
+        assert send.dest == 2 and receive.src == 1
+
+
+class TestExample3FileTransfer:
+    """Section 4.2: the complete derived entities for Example 3."""
+
+    def test_every_place_keeps_only_local_primitives(self, example3):
+        expected = {1: {"read", "eof"}, 2: {"push", "pop"}, 3: {"write", "make", "interrupt"}}
+        for place in (1, 2, 3):
+            spec = example3.entity(place)
+            names = {
+                event.name
+                for definition in [spec.root.behaviour] + [
+                    d.body.behaviour for d in spec.definitions
+                ]
+                for event in primitives_in(definition)
+            }
+            assert names == expected[place]
+            places = {
+                event.place
+                for definition in [spec.root.behaviour] + [
+                    d.body.behaviour for d in spec.definitions
+                ]
+                for event in primitives_in(definition)
+            }
+            assert places == {place}
+
+    def test_process_structure_is_preserved(self, example3):
+        for place in (1, 2, 3):
+            spec = example3.entity(place)
+            assert [d.name for d in spec.definitions] == ["S"]
+            assert isinstance(spec.root.behaviour, Disable)
+            assert isinstance(
+                entity_process(example3, place, "S"), Choice
+            )
+
+    def test_place1_shape(self, example3):
+        # ((Proc_Synch >> S) >> Rel) [> interrupt-receive
+        root = entity_root(example3, 1)
+        assert isinstance(root, Disable)
+        assert (
+            unparse_behaviour(root)
+            == "((s2(2); exit ||| s3(2); exit >> S) >> r3(2); exit) [> r3(3); exit"
+        )
+
+    def test_place2_shape(self, example3):
+        assert (
+            unparse_behaviour(entity_root(example3, 2))
+            == "((r1(2); exit >> S) >> r3(2); exit) [> r3(3); exit"
+        )
+
+    def test_place3_shape(self, example3):
+        # place 3 initiates the interrupt and broadcasts it.
+        assert (
+            unparse_behaviour(entity_root(example3, 3))
+            == "((r1(2); exit >> S) >> s1(2); exit ||| s2(2); exit)"
+            " [> interrupt3; (s1(3); exit ||| s2(3); exit)"
+        )
+
+    def test_place1_process_body(self, example3):
+        body = entity_process(example3, 1, "S")
+        assert (
+            unparse_behaviour(body)
+            == "read1; (s2(7); exit >> r2(8); exit >> s2(9); exit ||| s3(9); exit >> S)"
+            " [] (eof1; s3(13); exit >> s2(13); exit)"
+        )
+
+    def test_place2_process_body(self, example3):
+        body = entity_process(example3, 2, "S")
+        assert (
+            unparse_behaviour(body)
+            == "((r1(7); exit >> push2; (s1(8); exit >> r1(9); exit >> S))"
+            " >> r3(7); exit >> pop2; s3(10); exit) [] r1(13); exit"
+        )
+
+    def test_place3_process_body(self, example3):
+        body = entity_process(example3, 3, "S")
+        assert (
+            unparse_behaviour(body)
+            == "((r1(9); exit >> S) >> s2(7); exit >> r2(10); exit >> write3; exit)"
+            " [] (r1(13); exit >> make3; exit)"
+        )
+
+    def test_every_send_has_a_matching_receive(self, example3):
+        sends = {}
+        receives = {}
+        for place in (1, 2, 3):
+            spec = example3.entity(place)
+            bodies = [spec.root.behaviour] + [
+                d.body.behaviour for d in spec.definitions
+            ]
+            for body in bodies:
+                for event in sends_in(body):
+                    sends.setdefault((place, event.dest, event.message), 0)
+                    sends[(place, event.dest, event.message)] += 1
+                for event in receives_in(body):
+                    receives.setdefault((event.src, place, event.message), 0)
+                    receives[(event.src, place, event.message)] += 1
+        assert sends == receives
+
+
+class TestExample5ChoiceWithRecursion:
+    """Section 3.2: the empty-alternative problem and its fix."""
+
+    def test_place2_right_alternative_is_a_receive(self, example5):
+        body = entity_process(example5, 2, "A")
+        assert isinstance(body, Choice)
+        # Paper: "PROC A = (..b2... ; A >> c2....) [] (r1(19);exit)".
+        right = body.right
+        assert receives_in(right) and not primitives_in(right)
+        (receive,) = receives_in(right)
+        assert receive.src == 1
+
+    def test_place1_sends_alternative_notification(self, example5):
+        body = entity_process(example5, 1, "A")
+        # Paper: right alternative "(e1; ....; exit) >> (s2(x); exit)".
+        right = body.right
+        (send,) = [e for e in sends_in(right) if e.dest == 2]
+        # and it must go out only after the alternative's local part:
+        assert isinstance(right, Enable)
+
+    def test_left_alternative_needs_no_choice_message(self, example5):
+        # AP(left) ⊇ AP(right): no one is left out when left is chosen —
+        # wait: AP(left)={1,2,3}, AP(right)={1,3}; place 2 is only in
+        # left, so choosing *right* requires notifying 2 (tested above),
+        # choosing left requires nothing extra.
+        attrs = example5.attrs
+        choice = entity_process(example5, 1, "A")
+        prepared_choice = next(
+            node
+            for node in example5.prepared.walk_behaviours()
+            if isinstance(node, Choice)
+        )
+        left_ap = attrs.ap(prepared_choice.left)
+        right_ap = attrs.ap(prepared_choice.right)
+        assert right_ap - left_ap == frozenset()
+
+    def test_naive_rule_would_leave_place2_empty(self):
+        from tests.conftest import EXAMPLE5
+
+        naive = derive_protocol(EXAMPLE5, emit_sync=False)
+        body = entity_process(naive, 2, "A")
+        # Without Alternative messages the right branch of place 2
+        # degenerates (no action at all): the paper's motivating bug.
+        assert isinstance(body, Choice) or primitives_in(body)
+
+
+class TestExample6Disable:
+    """Section 3.3: (a1; b2; c3; exit) [> (d3; exit)."""
+
+    def test_place1(self, example6):
+        root = entity_root(example6, 1)
+        # Paper: PROC A = a1; ..... >> (r3(x);exit) [> (r3(y);exit)
+        assert unparse_behaviour(root) == "(a1; s2(2); exit >> r3(2); exit) [> r3(6); exit"
+
+    def test_place2(self, example6):
+        root = entity_root(example6, 2)
+        # Paper: PROC A = ..;b2;.. >> (r3(x);exit) [> (r3(y);exit)
+        assert (
+            unparse_behaviour(root)
+            == "((r1(2); exit >> b2; s3(3); exit) >> r3(2); exit) [> r3(6); exit"
+        )
+
+    def test_place3(self, example6):
+        root = entity_root(example6, 3)
+        # Paper: ...;c3;exit >> (s1(x);exit ||| s2(x);exit)
+        #        [> d3; (s1(y);exit ||| s2(y);exit)
+        assert (
+            unparse_behaviour(root)
+            == "((r2(3); exit >> c3; exit) >> s1(2); exit ||| s2(2); exit)"
+            " [> d3; (s1(6); exit ||| s2(6); exit)"
+        )
+
+    def test_interrupt_broadcast_goes_to_all_other_places(self, example6):
+        root3 = entity_root(example6, 3)
+        mc = root3.right
+        assert isinstance(mc, ActionPrefix)
+        assert str(mc.event) == "d3"
+        broadcast = sends_in(mc.continuation)
+        assert sorted(e.dest for e in broadcast) == [1, 2]
+
+    def test_other_places_arm_a_receive(self, example6):
+        for place in (1, 2):
+            mc = entity_root(example6, place).right
+            (receive,) = receives_in(mc)
+            assert receive.src == 3
+
+
+class TestExample2Recursion:
+    """Section 3.4: process synchronization for a^n b^n."""
+
+    def test_place1(self, example2):
+        # Paper: PROC A = ai ; sk(x) ; A >> ...exit [] ...exit
+        body = entity_process(example2, 1, "A")
+        assert (
+            unparse_behaviour(body)
+            == "a1; (s2(5); exit >> A) [] a1; s2(8); exit"
+        )
+
+    def test_place2(self, example2):
+        # Paper: PROC A = ri(x) ; A >> ...exit [] ...exit
+        body = entity_process(example2, 2, "A")
+        assert (
+            unparse_behaviour(body)
+            == "((r1(5); exit >> A) >> b2; exit) [] (r1(8); exit >> b2; exit)"
+        )
+
+    def test_top_level_invocation_synchronized(self, example2):
+        assert unparse_behaviour(entity_root(example2, 1)) == "s2(1); exit >> A"
+        assert unparse_behaviour(entity_root(example2, 2)) == "r1(1); exit >> A"
+
+    def test_recursive_reference_keeps_site(self, example2):
+        for place in (1, 2):
+            body = entity_process(example2, place, "A")
+            refs = [n for n in body.walk() if isinstance(n, ProcessRef)]
+            assert refs and all(ref.site is not None for ref in refs)
+            # both places use the same invocation site number
+        site1 = [n.site for n in entity_process(example2, 1, "A").walk() if isinstance(n, ProcessRef)]
+        site2 = [n.site for n in entity_process(example2, 2, "A").walk() if isinstance(n, ProcessRef)]
+        assert site1 == site2
+
+
+class TestRawDerivation:
+    def test_raw_output_contains_empty(self, example4):
+        deriver = Deriver(example4.prepared, example4.attrs)
+        raw = deriver.derive_raw(1)
+        from repro.lotos.syntax import Empty
+
+        assert any(isinstance(n, Empty) for n in raw.root.behaviour.walk())
+
+    def test_simplified_output_has_no_empty(self, example3):
+        from repro.lotos.syntax import Empty
+
+        for place in (1, 2, 3):
+            for node in example3.entity(place).walk_behaviours():
+                assert not isinstance(node, Empty)

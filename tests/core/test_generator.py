@@ -1,0 +1,118 @@
+"""Protocol Generator pipeline tests."""
+
+import pytest
+
+from repro.core.generator import ProtocolGenerator, derive_protocol
+from repro.errors import DerivationError, RestrictionViolation
+from repro.lotos.events import ServicePrimitive
+from repro.lotos.parser import parse
+from repro.lotos.syntax import ActionPrefix, Disable, Parallel
+from repro.lotos.unparse import unparse
+
+
+class TestPipeline:
+    def test_accepts_text_and_specification(self):
+        text = "SPEC a1; exit >> b2; exit ENDSPEC"
+        from_text = derive_protocol(text)
+        from_spec = derive_protocol(parse(text))
+        assert from_text.entities == from_spec.entities
+
+    def test_places_cover_all(self):
+        result = derive_protocol("SPEC a1; b2; c3; exit ENDSPEC")
+        assert result.places == [1, 2, 3]
+
+    def test_single_place_service(self):
+        result = derive_protocol("SPEC a1; b1; exit ENDSPEC")
+        assert result.places == [1]
+        # nothing to synchronize: the entity is the service itself
+        # (modulo node numbering, which derived text does not carry).
+        assert result.entity_text(1) == unparse(parse("SPEC a1; b1; exit ENDSPEC"))
+
+    def test_prepared_tree_is_numbered(self):
+        result = derive_protocol("SPEC a1; exit >> b2; exit ENDSPEC")
+        assert all(
+            node.nid is not None for node in result.prepared.walk_behaviours()
+        )
+
+    def test_disable_operands_normalized_in_prepared(self):
+        from repro.lotos.expansion import is_action_prefix_form
+
+        result = derive_protocol(
+            "SPEC a1; c2; exit [> (d2; exit [] e2; exit) ENDSPEC"
+        )
+        for node in result.prepared.walk_behaviours():
+            if isinstance(node, Disable):
+                assert is_action_prefix_form(node.right)
+
+    def test_full_sync_expanded(self):
+        result = derive_protocol("SPEC a1; exit || a1; b1; exit ENDSPEC")
+        for node in result.prepared.walk_behaviours():
+            if isinstance(node, Parallel):
+                assert not node.sync_all
+                assert ServicePrimitive("a", 1) in node.sync
+
+    def test_full_sync_over_process_rejected(self):
+        with pytest.raises(DerivationError):
+            derive_protocol(
+                "SPEC B || B WHERE PROC B = a1; exit END ENDSPEC"
+            )
+
+    def test_entity_text_and_describe(self):
+        result = derive_protocol("SPEC a1; exit >> b2; exit ENDSPEC")
+        assert "s2(" in result.entity_text(1)
+        description = result.describe()
+        assert "place 1" in description and "place 2" in description
+
+    def test_unknown_place_raises(self):
+        result = derive_protocol("SPEC a1; exit >> b2; exit ENDSPEC")
+        with pytest.raises(KeyError):
+            result.entity(9)
+
+    def test_derived_entities_parse_back(self):
+        result = derive_protocol(
+            """SPEC S [> interrupt3; exit WHERE
+                 PROC S = (read1; push2; S >> pop2; write3; exit)
+                       [] (eof1; make3; exit) END
+               ENDSPEC"""
+        )
+        for place in result.places:
+            text = unparse(result.entity(place), compact=False)
+            assert parse(text) is not None
+
+
+class TestModes:
+    def test_strict_is_default(self):
+        generator = ProtocolGenerator()
+        with pytest.raises(RestrictionViolation):
+            generator.derive("SPEC a1; b2; exit [] c2; d2; exit ENDSPEC")
+
+    def test_naive_mode_has_no_messages(self):
+        from repro.lotos.events import ReceiveAction, SendAction
+
+        result = derive_protocol(
+            "SPEC a1; exit >> b2; exit ENDSPEC", emit_sync=False
+        )
+        for place in result.places:
+            for node in result.entity(place).walk_behaviours():
+                if isinstance(node, ActionPrefix):
+                    assert not isinstance(
+                        node.event, (SendAction, ReceiveAction)
+                    )
+
+    def test_naive_wrapper(self):
+        from repro.core.naive import derive_naive
+
+        result = derive_naive("SPEC a1; exit >> b2; exit ENDSPEC")
+        assert result.places == [1, 2]
+
+
+class TestDeterminism:
+    def test_derivation_is_deterministic(self):
+        text = """SPEC S [> interrupt3; exit WHERE
+            PROC S = (read1; push2; S >> pop2; write3; exit)
+                  [] (eof1; make3; exit) END
+        ENDSPEC"""
+        first = derive_protocol(text)
+        second = derive_protocol(text)
+        assert first.entities == second.entities
+        assert first.attrs.by_node == second.attrs.by_node

@@ -1,0 +1,54 @@
+"""Golden-corpus regression tests.
+
+``tests/goldens/`` holds service specifications paired with the exact
+derived-entity text the Protocol Generator produced when the corpus was
+recorded.  Any change to the derivation pipeline that alters any entity
+of any corpus case — message numbering, simplification laws, operator
+handling — shows up here as a readable diff.  To extend the corpus, add
+``<name>.lotos`` + ``<name>.expected`` (and generator kwargs in
+``manifest.json`` if non-default).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.generator import derive_protocol
+from repro.runtime import build_system, check_run, random_run
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "goldens"
+MANIFEST = json.loads((GOLDEN_DIR / "manifest.json").read_text())
+CASES = sorted(MANIFEST)
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_derivation_matches_golden(name):
+    service = (GOLDEN_DIR / f"{name}.lotos").read_text()
+    expected = (GOLDEN_DIR / f"{name}.expected").read_text()
+    result = derive_protocol(service, **MANIFEST[name])
+    assert result.describe() == expected
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_golden_protocols_execute(name):
+    service = (GOLDEN_DIR / f"{name}.lotos").read_text()
+    result = derive_protocol(service, **MANIFEST[name])
+    has_disable = "[>" in service
+    system = build_system(
+        result.entities,
+        discipline="selective" if has_disable else "fifo",
+        require_empty_at_exit=not has_disable,
+    )
+    run = random_run(system, seed=0, max_steps=2_000)
+    assert not run.deadlocked, str(run)
+    if not has_disable:
+        assert check_run(result.service, run), str(run)
+
+
+def test_corpus_is_complete():
+    for name in CASES:
+        assert (GOLDEN_DIR / f"{name}.lotos").exists()
+        assert (GOLDEN_DIR / f"{name}.expected").exists()
+    lotos_files = {p.stem for p in GOLDEN_DIR.glob("*.lotos")}
+    assert lotos_files == set(CASES)

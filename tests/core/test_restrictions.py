@@ -1,0 +1,124 @@
+"""Restriction-checker tests: R1, R2, R3, grammar conditions, guardedness."""
+
+import pytest
+
+from repro.core.attributes import evaluate_attributes, number_nodes
+from repro.core.generator import derive_protocol
+from repro.core.restrictions import check_service, raise_on_violations
+from repro.errors import RestrictionViolation
+from repro.lotos.parser import parse
+from repro.lotos.scope import flatten_spec
+
+
+def violations_of(text):
+    spec = number_nodes(flatten_spec(parse(text)))
+    return check_service(spec, evaluate_attributes(spec))
+
+
+def rules_of(text):
+    return sorted({v.rule for v in violations_of(text)})
+
+
+class TestR1:
+    def test_ok_same_single_starting_place(self):
+        assert rules_of("SPEC a1; b2; exit [] c1; d2; exit ENDSPEC") == []
+
+    def test_different_starting_places(self):
+        assert "R1" in rules_of("SPEC a1; b2; exit [] c2; b2; exit ENDSPEC")
+
+    def test_multiple_starting_places(self):
+        # parallel inside an alternative starts at two places
+        assert "R1" in rules_of(
+            "SPEC (a1; c3; exit ||| b2; c3; exit) [] (d1; c3; exit) ENDSPEC"
+        )
+
+
+class TestR2:
+    def test_choice_ending_places_must_match(self):
+        assert "R2" in rules_of("SPEC a1; b2; exit [] a1; c3; exit ENDSPEC")
+
+    def test_disable_ending_places_must_match(self):
+        assert "R2" in rules_of("SPEC a1; b2; exit [> d2; c3; exit ENDSPEC")
+
+    def test_conforming_disable(self):
+        assert rules_of("SPEC a1; b2; exit [> d2; exit ENDSPEC") == []
+
+
+class TestR3:
+    def test_disabling_event_outside_ending_places(self):
+        # EP(normal) = {3} but the disabling event starts at 1.
+        result = rules_of("SPEC a1; c3; exit [> d1; c3; exit ENDSPEC")
+        assert "R3" in result
+
+    def test_disabling_event_at_ending_place_ok(self):
+        assert rules_of("SPEC a1; c3; exit [> d3; exit ENDSPEC") == []
+
+
+class TestGrammar:
+    def test_send_in_service_rejected(self):
+        assert "GRAMMAR" in rules_of("SPEC s2(1); exit >> b2; exit ENDSPEC")
+
+    def test_stop_rejected(self):
+        assert "GRAMMAR" in rules_of("SPEC a1; stop ENDSPEC")
+
+    def test_hide_rejected(self):
+        assert "GRAMMAR" in rules_of("SPEC hide a1 in a1; b2; exit ENDSPEC")
+
+    def test_apf_detected_without_preprocessing(self):
+        # check_service run directly on an unprepared tree flags the
+        # non-prefix-form disable operand.
+        assert "APF" in rules_of(
+            "SPEC a1; exit [> (b2; exit ||| c3; exit) ENDSPEC"
+        )
+
+
+class TestGuardedness:
+    def test_direct_unguarded_recursion(self):
+        assert "GUARD" in rules_of("SPEC A WHERE PROC A = A END ENDSPEC")
+
+    def test_unguarded_through_choice(self):
+        assert "GUARD" in rules_of(
+            "SPEC A WHERE PROC A = A [] a1; exit END ENDSPEC"
+        )
+
+    def test_mutual_unguarded(self):
+        assert "GUARD" in rules_of(
+            "SPEC A WHERE PROC A = B END PROC B = A END ENDSPEC"
+        )
+
+    def test_guarded_recursion_ok(self):
+        assert rules_of("SPEC A WHERE PROC A = a1; A END ENDSPEC") == []
+
+    def test_guarded_through_enable(self):
+        # A is reachable only after a1;exit terminates: guarded.
+        assert rules_of(
+            "SPEC A WHERE PROC A = a1; exit >> A END ENDSPEC"
+        ) == []
+
+    def test_unguarded_through_exit_enable(self):
+        assert "GUARD" in rules_of(
+            "SPEC A WHERE PROC A = exit >> A END ENDSPEC"
+        )
+
+
+class TestGeneratorIntegration:
+    def test_strict_mode_raises(self):
+        with pytest.raises(RestrictionViolation) as excinfo:
+            derive_protocol("SPEC a1; b2; exit [] c2; b2; exit ENDSPEC")
+        assert excinfo.value.rule == "R1"
+
+    def test_lenient_mode_records(self):
+        result = derive_protocol(
+            "SPEC a1; b2; exit [] c2; b2; exit ENDSPEC", strict=False
+        )
+        assert result.violations
+        assert result.entities  # derived anyway
+
+    def test_raise_on_violations_summarizes(self):
+        violations = violations_of("SPEC a1; b2; exit [] a1; c3; exit ENDSPEC")
+        with pytest.raises(RestrictionViolation, match="R2"):
+            raise_on_violations(violations)
+
+    def test_conforming_spec_passes(self):
+        result = derive_protocol("SPEC a1; exit >> b2; exit ENDSPEC")
+        assert result.violations == []

@@ -1,0 +1,140 @@
+"""Simplifier tests: the Section 4.2 elimination laws plus the two
+vacuous-exit laws the paper's printed derivations use implicitly."""
+
+import pytest
+
+from repro.core.simplify import simplify, simplify_spec
+from repro.errors import DerivationError
+from repro.lotos.lts import build_lts
+from repro.lotos.equivalence import observationally_congruent, weak_bisimilar
+from repro.lotos.parser import parse, parse_behaviour
+from repro.lotos.semantics import Semantics
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Choice,
+    Disable,
+    Empty,
+    Enable,
+    Exit,
+    Parallel,
+    Stop,
+)
+
+SEM = Semantics()
+
+
+def prim(text):
+    return parse_behaviour(text)
+
+
+class TestEmptyElimination:
+    def test_empty_enable_left(self):
+        assert simplify(Enable(Empty(), prim("a1; exit"))) == prim("a1; exit")
+
+    def test_empty_enable_right(self):
+        assert simplify(Enable(prim("a1; exit"), Empty())) == prim("a1; exit")
+
+    def test_empty_interleave(self):
+        assert simplify(Parallel(Empty(), prim("a1; exit"))) == prim("a1; exit")
+        assert simplify(Parallel(prim("a1; exit"), Empty())) == prim("a1; exit")
+
+    def test_empty_empty_parallel(self):
+        assert simplify(Parallel(Empty(), Empty())) == Empty()
+
+    def test_empty_choice_pair(self):
+        assert simplify(Choice(Empty(), Empty())) == Empty()
+
+    def test_nested_elimination(self):
+        node = Enable(Empty(), Enable(Empty(), Enable(Empty(), prim("a1; exit"))))
+        assert simplify(node) == prim("a1; exit")
+
+    def test_half_empty_choice_is_an_error(self):
+        with pytest.raises(DerivationError):
+            simplify(Choice(Empty(), prim("a1; exit")))
+
+    def test_empty_disable_right(self):
+        assert simplify(Disable(prim("a1; exit"), Empty())) == prim("a1; exit")
+
+    def test_empty_disable_pair(self):
+        assert simplify(Disable(Empty(), Empty())) == Empty()
+
+
+class TestVacuousExit:
+    def test_exit_enable_left(self):
+        assert simplify(Enable(Exit(), prim("a1; exit"))) == prim("a1; exit")
+
+    def test_exit_enable_right(self):
+        assert simplify(Enable(prim("a1; exit"), Exit())) == prim("a1; exit")
+
+    def test_exit_enable_right_is_congruent(self):
+        # e >> exit = e is a genuine observation congruence.
+        before = parse_behaviour("a1; exit >> exit")
+        after = simplify(before)
+        assert observationally_congruent(
+            build_lts(before, SEM), build_lts(after, SEM)
+        )
+
+    def test_exit_enable_left_removes_internal_step(self):
+        # exit >> e = i;e semantically; the simplifier strips the i (by
+        # design — see the module docstring), so only weak equivalence
+        # holds here.
+        before = parse_behaviour("exit >> a1; exit")
+        after = simplify(before)
+        assert after == prim("a1; exit")
+        assert weak_bisimilar(build_lts(before, SEM), build_lts(after, SEM))
+
+    def test_exit_interleave_unit(self):
+        assert simplify(Parallel(prim("a1; exit"), Exit())) == prim("a1; exit")
+        assert simplify(Parallel(Exit(), prim("a1; exit"))) == prim("a1; exit")
+
+    def test_exit_unit_is_strongly_safe(self):
+        before = parse_behaviour("a1; exit ||| exit")
+        assert observationally_congruent(
+            build_lts(before, SEM), build_lts(simplify(before), SEM)
+        )
+
+    def test_exit_not_removed_under_synchronizing_parallel(self):
+        node = parse_behaviour("a1; exit |[a1]| exit")
+        assert simplify(node) == node
+
+
+class TestChoiceIdempotence:
+    def test_identical_branches_merge(self):
+        node = Choice(prim("a1; exit"), prim("a1; exit"))
+        assert simplify(node) == prim("a1; exit")
+
+    def test_distinct_branches_kept(self):
+        node = Choice(prim("a1; exit"), prim("b1; exit"))
+        assert simplify(node) == node
+
+
+class TestStructuralRecursion:
+    def test_deep_rewrite(self):
+        node = ActionPrefix(
+            prim("a1; exit").event,
+            Enable(Empty(), Parallel(prim("b1; exit"), Exit())),
+        )
+        assert simplify(node) == parse_behaviour("a1; b1; exit")
+
+    def test_simplify_spec_covers_definitions(self):
+        spec = parse("SPEC A WHERE PROC A = a1; exit END ENDSPEC")
+        from repro.lotos.syntax import DefBlock, ProcessDefinition, Specification
+
+        dirty = Specification(
+            DefBlock(
+                Enable(Empty(), spec.root.behaviour),
+                (
+                    ProcessDefinition(
+                        "A", DefBlock(Enable(prim("a1; exit"), Empty()))
+                    ),
+                ),
+            )
+        )
+        clean = simplify_spec(dirty)
+        assert clean.root.behaviour == spec.root.behaviour
+        assert clean.definitions[0].body.behaviour == prim("a1; exit")
+
+    def test_simplification_is_idempotent(self):
+        node = Enable(Empty(), Parallel(Exit(), Enable(prim("a1; exit"), Exit())))
+        once = simplify(node)
+        assert simplify(once) == once

@@ -1,0 +1,50 @@
+"""The SIGCOMM 1986 fragment ([Boch 86]): ';', '[]', '|||' only.
+
+The supplied paper extends the 1986 algorithm; the subset mode pins the
+boundary between the two, showing exactly which constructs needed the
+extension.
+"""
+
+import pytest
+
+from repro.core.generator import ProtocolGenerator
+from repro.errors import RestrictionViolation
+
+SUBSET_OK = [
+    "SPEC a1; b2; exit ENDSPEC",
+    "SPEC (a1; b2; exit) [] (c1; d2; exit) ENDSPEC",
+    "SPEC a1; exit ||| b2; exit ENDSPEC",
+    "SPEC a1; (b2; exit [] c2; exit) ||| d3; exit ENDSPEC",
+]
+
+NEEDS_EXTENSION = [
+    ("SPEC a1; exit >> b2; exit ENDSPEC", ">>"),
+    ("SPEC a1; b2; exit [> d2; exit ENDSPEC", "[>"),
+    ("SPEC a1; m2; exit |[m2]| m2; c3; exit ENDSPEC", "rendezvous"),
+    ("SPEC A WHERE PROC A = a1; b2; exit END ENDSPEC", "process invocation"),
+]
+
+
+class TestSubsetMode:
+    @pytest.mark.parametrize("service", SUBSET_OK)
+    def test_subset_services_derive(self, service):
+        generator = ProtocolGenerator(subset_1986=True)
+        result = generator.derive(service)
+        assert result.entities
+
+    @pytest.mark.parametrize("service,keyword", NEEDS_EXTENSION)
+    def test_extension_constructs_rejected(self, service, keyword):
+        generator = ProtocolGenerator(subset_1986=True)
+        with pytest.raises(RestrictionViolation, match="1986"):
+            generator.derive(service)
+
+    @pytest.mark.parametrize("service,keyword", NEEDS_EXTENSION)
+    def test_full_algorithm_accepts_them(self, service, keyword):
+        generator = ProtocolGenerator()
+        assert generator.derive(service).entities
+
+    @pytest.mark.parametrize("service", SUBSET_OK)
+    def test_subset_and_full_agree_on_the_fragment(self, service):
+        subset = ProtocolGenerator(subset_1986=True).derive(service)
+        full = ProtocolGenerator().derive(service)
+        assert subset.entities == full.entities

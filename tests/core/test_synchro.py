@@ -1,0 +1,234 @@
+"""Table 4 synchronization-function tests."""
+
+import pytest
+
+from repro.core import synchro
+from repro.core.attributes import evaluate_attributes, number_nodes
+from repro.lotos.events import (
+    ReceiveAction,
+    SendAction,
+    ServicePrimitive,
+    SyncMessage,
+)
+from repro.lotos.parser import parse
+from repro.lotos.scope import flatten_spec
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Empty,
+    Enable,
+    Exit,
+    Parallel,
+    ProcessRef,
+)
+from repro.lotos.unparse import unparse_behaviour
+
+
+def prepared(text):
+    spec = number_nodes(flatten_spec(parse(text)))
+    return spec, evaluate_attributes(spec)
+
+
+def events_of(fragment):
+    return [
+        node.event
+        for node in fragment.walk()
+        if isinstance(node, ActionPrefix)
+    ]
+
+
+class TestSendReceiveBuilders:
+    def test_empty_set_yields_empty(self):
+        assert isinstance(synchro.send_to([], 5), Empty)
+        assert isinstance(synchro.receive_from([], 5), Empty)
+
+    def test_single_send(self):
+        fragment = synchro.send_to([2], 5)
+        assert fragment == ActionPrefix(
+            SendAction(dest=2, message=SyncMessage(5)), Exit()
+        )
+
+    def test_multi_send_is_interleaved_and_sorted(self):
+        fragment = synchro.send_to([3, 2], 5)
+        assert isinstance(fragment, Parallel) and fragment.is_interleaving()
+        assert unparse_behaviour(fragment) == "s2(5); exit ||| s3(5); exit"
+
+    def test_receive_rendering(self):
+        fragment = synchro.receive_from([1, 3], 9)
+        assert unparse_behaviour(fragment) == "r1(9); exit ||| r3(9); exit"
+
+    def test_messages_are_symbolic(self):
+        fragment = synchro.send_to([2], 5)
+        assert fragment.event.message.occurrence is None
+
+
+class TestSequentialSynchronization:
+    """Synch_Left / Synch_Right for >> (the Example 4 situation)."""
+
+    def setup_method(self):
+        self.spec, self.attrs = prepared("SPEC a1; exit >> b2; exit ENDSPEC")
+        enable = self.spec.root.behaviour
+        self.left, self.right = enable.left, enable.right
+
+    def test_ending_place_sends(self):
+        fragment = synchro.synch_left(1, self.left, self.right, self.attrs)
+        assert events_of(fragment) == [
+            SendAction(dest=2, message=SyncMessage(self.left.nid))
+        ]
+
+    def test_non_ending_place_sends_nothing(self):
+        assert isinstance(
+            synchro.synch_left(2, self.left, self.right, self.attrs), Empty
+        )
+
+    def test_starting_place_receives(self):
+        fragment = synchro.synch_right(2, self.left, self.right, self.attrs)
+        assert events_of(fragment) == [
+            ReceiveAction(src=1, message=SyncMessage(self.left.nid))
+        ]
+
+    def test_non_starting_place_receives_nothing(self):
+        assert isinstance(
+            synchro.synch_right(1, self.left, self.right, self.attrs), Empty
+        )
+
+    def test_local_pair_is_silent(self):
+        # When EP(e1) == SP(e2) == {p} there is no message at all.
+        spec, attrs = prepared("SPEC a1; exit >> b1; exit ENDSPEC")
+        enable = spec.root.behaviour
+        assert isinstance(synchro.synch_left(1, enable.left, enable.right, attrs), Empty)
+        assert isinstance(synchro.synch_right(1, enable.left, enable.right, attrs), Empty)
+
+
+class TestRel:
+    """Termination synchronization under a disable (Section 3.3)."""
+
+    def setup_method(self):
+        self.spec, self.attrs = prepared(
+            "SPEC a1; b2; c3; exit [> d3; exit ENDSPEC"
+        )
+        self.par = self.spec.root.behaviour.left
+
+    def test_ending_place_broadcasts(self):
+        fragment = synchro.rel(3, self.par, self.attrs)
+        sends = [e for e in events_of(fragment) if isinstance(e, SendAction)]
+        assert sorted(e.dest for e in sends) == [1, 2]
+
+    def test_ending_place_receives_from_other_ending_places(self):
+        # EP is the singleton {3}: nothing to collect.
+        fragment = synchro.rel(3, self.par, self.attrs)
+        receives = [e for e in events_of(fragment) if isinstance(e, ReceiveAction)]
+        assert receives == []
+
+    def test_non_ending_place_waits(self):
+        fragment = synchro.rel(1, self.par, self.attrs)
+        assert events_of(fragment) == [
+            ReceiveAction(src=3, message=SyncMessage(self.par.nid))
+        ]
+
+    def test_multiple_ending_places(self):
+        spec, attrs = prepared(
+            "SPEC (a1; exit ||| b2; exit) [> (d1; exit [] d2; exit) ENDSPEC"
+        )
+        par = spec.root.behaviour.left
+        fragment = synchro.rel(1, par, attrs)
+        sends = [e for e in events_of(fragment) if isinstance(e, SendAction)]
+        receives = [e for e in events_of(fragment) if isinstance(e, ReceiveAction)]
+        assert sorted(e.dest for e in sends) == [2]
+        assert sorted(e.src for e in receives) == [2]
+
+
+class TestAlternative:
+    """Empty-alternative avoidance (Section 3.2, Example 5 situation)."""
+
+    def setup_method(self):
+        # left alternative involves {1,2}; right involves {1,3}.
+        self.spec, self.attrs = prepared(
+            "SPEC (a1; b2; c1; exit) [] (e1; f3; g1; exit) ENDSPEC"
+        )
+        choice = self.spec.root.behaviour
+        self.left, self.right = choice.left, choice.right
+
+    def test_chooser_notifies_non_participants(self):
+        fragment = synchro.alternative(1, self.left, self.right, self.attrs)
+        assert events_of(fragment) == [
+            SendAction(dest=3, message=SyncMessage(self.left.nid))
+        ]
+
+    def test_non_participant_waits_on_chooser(self):
+        fragment = synchro.alternative(3, self.left, self.right, self.attrs)
+        assert events_of(fragment) == [
+            ReceiveAction(src=1, message=SyncMessage(self.left.nid))
+        ]
+
+    def test_participant_in_left_is_notified_when_right_is_taken(self):
+        fragment = synchro.alternative(2, self.right, self.left, self.attrs)
+        assert events_of(fragment) == [
+            ReceiveAction(src=1, message=SyncMessage(self.right.nid))
+        ]
+
+    def test_participant_in_both_is_silent(self):
+        spec, attrs = prepared("SPEC (a1; b2; exit) [] (c1; b2; exit) ENDSPEC")
+        choice = spec.root.behaviour
+        assert isinstance(
+            synchro.alternative(2, choice.left, choice.right, attrs), Empty
+        )
+
+    def test_identical_alternatives_need_no_messages(self):
+        spec, attrs = prepared("SPEC a1; b2; exit [] c1; d2; exit ENDSPEC")
+        choice = spec.root.behaviour
+        for place in (1, 2):
+            assert isinstance(
+                synchro.alternative(place, choice.left, choice.right, attrs), Empty
+            )
+
+
+class TestProcSynch:
+    def setup_method(self):
+        self.spec, self.attrs = prepared(
+            "SPEC A >> c3; exit WHERE PROC A = a1; b2; exit END ENDSPEC"
+        )
+        self.ref = next(
+            node
+            for node in self.spec.walk_behaviours()
+            if isinstance(node, ProcessRef)
+        )
+
+    def test_starting_place_broadcasts(self):
+        fragment = synchro.proc_synch(1, self.ref, self.attrs)
+        sends = events_of(fragment)
+        assert sorted(e.dest for e in sends) == [2, 3]
+        assert all(e.message.node == self.ref.nid for e in sends)
+
+    def test_other_places_wait(self):
+        for place in (2, 3):
+            fragment = synchro.proc_synch(place, self.ref, self.attrs)
+            assert events_of(fragment) == [
+                ReceiveAction(src=1, message=SyncMessage(self.ref.nid))
+            ]
+
+
+class TestSelectAndProj:
+    def test_select_filters_by_place(self):
+        events = frozenset(
+            {ServicePrimitive("a", 1), ServicePrimitive("b", 2), ServicePrimitive("c", 1)}
+        )
+        assert synchro.select(1, events) == frozenset(
+            {ServicePrimitive("a", 1), ServicePrimitive("c", 1)}
+        )
+        assert synchro.select(3, events) == frozenset()
+
+    def test_proj(self):
+        event = ServicePrimitive("a", 2)
+        assert synchro.proj(2, event) is event
+        assert synchro.proj(1, event) is None
+
+
+class TestUnnumberedTreeRejected:
+    def test_missing_nid_raises(self):
+        spec = flatten_spec(parse("SPEC a1; exit >> b2; exit ENDSPEC"))
+        attrs = evaluate_attributes(number_nodes(spec))
+        enable = spec.root.behaviour  # unnumbered original
+        from repro.errors import ReproError
+
+        with pytest.raises((ValueError, ReproError)):
+            synchro.synch_left(1, enable.left, enable.right, attrs)

@@ -1,0 +1,103 @@
+"""Error recovery over an unreliable medium (the Section 6 future work).
+
+Negative control: derived protocols *assume* the reliable medium, so a
+raw lossy medium wedges them.  Positive result: layering the ARQ
+recovery sublayer underneath restores the service exactly — the
+"systematic transformation to an error-recoverable protocol" realized as
+a protocol stack.
+"""
+
+import pytest
+
+from repro.core.generator import derive_protocol
+from repro.medium.lossy import ArqMedium, LossyMedium
+from repro.runtime import build_system, check_run, random_run
+
+SERVICE = "SPEC a1; b2; c3; d1; exit ENDSPEC"
+
+
+@pytest.fixture(scope="module")
+def pipeline_result():
+    return derive_protocol(SERVICE)
+
+
+class TestRawLossBreaksDerivedProtocols:
+    def test_deadlocks_appear(self, pipeline_result):
+        deadlocks = 0
+        for seed in range(30):
+            system = build_system(
+                pipeline_result.entities, medium=LossyMedium(loss_budget=2)
+            )
+            run = random_run(system, seed=seed, max_steps=400)
+            if run.deadlocked:
+                deadlocks += 1
+        assert deadlocks > 10  # loss usually wedges a blocking receive
+
+    def test_no_safety_violation_only_liveness(self, pipeline_result):
+        # Loss can only remove behaviour, never reorder it: every trace
+        # that does happen is still a service trace.
+        for seed in range(30):
+            system = build_system(
+                pipeline_result.entities, medium=LossyMedium(loss_budget=2)
+            )
+            run = random_run(system, seed=seed, max_steps=400)
+            if run.deadlocked:
+                continue
+            assert check_run(SERVICE, run)
+
+    def test_zero_budget_equals_reliable(self, pipeline_result):
+        system = build_system(
+            pipeline_result.entities, medium=LossyMedium(loss_budget=0)
+        )
+        run = random_run(system, seed=0, max_steps=400)
+        assert run.terminated and check_run(SERVICE, run)
+
+
+class TestArqRestoresTheService:
+    @pytest.mark.parametrize("loss_budget", [0, 1, 3])
+    def test_all_schedules_complete_and_conform(self, pipeline_result, loss_budget):
+        for seed in range(25):
+            system = build_system(
+                pipeline_result.entities, medium=ArqMedium(loss_budget=loss_budget)
+            )
+            run = random_run(system, seed=seed, max_steps=5_000)
+            assert not run.deadlocked, f"seed {seed}"
+            assert run.terminated, f"seed {seed}: {run}"
+            verdict = check_run(SERVICE, run)
+            assert verdict.ok, str(verdict)
+
+    def test_recursion_over_arq(self, example2):
+        system = build_system(
+            example2.entities, medium=ArqMedium(loss_budget=2)
+        )
+        run = random_run(system, seed=3, max_steps=8_000)
+        assert run.terminated
+        names = [event.name for event in run.trace]
+        assert names.count("a") == names.count("b") >= 1
+
+    def test_bounded_trace_equivalence_over_arq(self, pipeline_result):
+        """The ARQ-composed system is weak-trace equivalent to the service."""
+        from repro.lotos.semantics import Semantics
+        from repro.lotos.traces import weak_trace_equivalent
+
+        semantics, root = Semantics.of_specification(
+            pipeline_result.prepared, bind_occurrences=False
+        )
+        system = build_system(
+            pipeline_result.entities, medium=ArqMedium(loss_budget=1)
+        )
+        equivalent, witness = weak_trace_equivalent(
+            root, semantics, system.initial, system, depth=5
+        )
+        assert equivalent, witness
+
+    def test_arq_overhead_is_measurable(self, pipeline_result):
+        """Recovery costs internal steps; quantify against the baseline."""
+        reliable = build_system(pipeline_result.entities)
+        recovered = build_system(
+            pipeline_result.entities, medium=ArqMedium(loss_budget=2)
+        )
+        baseline = random_run(reliable, seed=1, max_steps=5_000)
+        with_arq = random_run(recovered, seed=1, max_steps=5_000)
+        assert baseline.terminated and with_arq.terminated
+        assert with_arq.steps > baseline.steps

@@ -1,0 +1,40 @@
+"""Smoke tests: every shipped example script runs green.
+
+The examples double as living documentation; these tests keep them from
+rotting.  Each is executed in-process (runpy) with its module guard, and
+the assertions inside the scripts do the real checking.
+"""
+
+import io
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs(script, monkeypatch):
+    captured = io.StringIO()
+    monkeypatch.setattr(sys, "stdout", captured)
+    runpy.run_path(str(script), run_name="__main__")
+    output = captured.getvalue()
+    assert output.strip(), f"{script.name} produced no output"
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "file_transfer",
+        "counting_protocol",
+        "transport_service",
+        "error_recovery",
+        "protocol_inspection",
+    } <= names

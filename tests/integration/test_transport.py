@@ -1,0 +1,126 @@
+"""Transport-style case study (E11): the paper's PG validation class."""
+
+import random
+
+import pytest
+
+from repro.core.generator import derive_protocol
+from repro.runtime import build_system, random_run
+from repro.runtime.conformance import check_trace
+from repro.verification.checker import safety_report, verify_derivation
+
+SERVICE = """
+SPEC Session [> abort1; exit WHERE
+  PROC Session =
+      ( conreq1; conind2;
+          ( (accept2; confirm1; Transfer >> disreq2; disind1; exit)
+            [] (reject2; refused1; exit) ) )
+      [] ( quit1; exit )
+  END
+  PROC Transfer =
+      ( datareq1; dataind2; Transfer >> ack2; ackind1; exit )
+      [] ( datareq1; dataind2; ack2; ackind1; exit )
+  END
+ENDSPEC
+"""
+
+ABORT_FREE = SERVICE.replace("Session [> abort1; exit", "Session")
+
+
+@pytest.fixture(scope="module")
+def transport():
+    return derive_protocol(SERVICE)
+
+
+@pytest.fixture(scope="module")
+def transport_abort_free():
+    return derive_protocol(ABORT_FREE)
+
+
+class TestDerivation:
+    def test_derives_cleanly(self, transport):
+        assert transport.places == [1, 2]
+        assert transport.violations == []
+
+    def test_processes_preserved(self, transport):
+        for place in transport.places:
+            names = [d.name for d in transport.entity(place).definitions]
+            assert names == ["Session", "Transfer"]
+
+
+class TestExecution:
+    def test_no_deadlocks(self, transport):
+        system = build_system(
+            transport.entities, discipline="selective", require_empty_at_exit=False
+        )
+        for seed in range(40):
+            run = random_run(system, seed=seed, max_steps=2_000)
+            assert not run.deadlocked, str(run)
+
+    def test_full_session_with_data_phase(self, transport):
+        system = build_system(
+            transport.entities, discipline="selective", require_empty_at_exit=False
+        )
+        rng = random.Random(4)
+        sent = [0]
+
+        def steer(state, transitions):
+            allowed = []
+            for index, (label, _) in enumerate(transitions):
+                name = str(label)
+                if name == "abort1":
+                    continue
+                if name == "quit1":
+                    continue
+                if name == "reject2":
+                    continue
+                if name == "datareq1" and sent[0] >= 4:
+                    continue
+                allowed.append(index)
+            choice = rng.choice(allowed) if allowed else 0
+            if str(transitions[choice][0]) == "datareq1":
+                sent[0] += 1
+            return choice
+
+        run = random_run(system, seed=4, max_steps=4_000, chooser=steer)
+        names = [str(event) for event in run.trace]
+        assert run.terminated, run
+        assert names[0] == "conreq1"
+        assert "accept2" in names
+        assert names.count("datareq1") == names.count("dataind2") >= 1
+        assert names.count("ack2") == names.count("datareq1")
+        assert names[-1] == "disind1"
+        assert check_trace(transport.service, run.trace, terminated=True)
+
+    def test_rejection_path(self, transport):
+        system = build_system(
+            transport.entities, discipline="selective", require_empty_at_exit=False
+        )
+
+        def steer(state, transitions):
+            order = ["conreq1", "conind2", "reject2", "refused1"]
+            for wanted in order:
+                for index, (label, _) in enumerate(transitions):
+                    if str(label) == wanted:
+                        return index
+            for index, (label, _) in enumerate(transitions):
+                if str(label) not in ("abort1", "quit1", "accept2"):
+                    return index
+            return 0
+
+        run = random_run(system, seed=0, max_steps=1_000, chooser=steer)
+        names = [str(event) for event in run.trace]
+        assert names == ["conreq1", "conind2", "reject2", "refused1"]
+        assert run.terminated
+
+
+class TestVerification:
+    def test_abort_free_bounded_equivalence(self, transport_abort_free):
+        report = verify_derivation(transport_abort_free, trace_depth=6)
+        assert report.equivalent, str(report)
+
+    def test_safety_violations_involve_only_the_abort(self, transport):
+        report = safety_report(transport, trace_depth=5)
+        if not report.equivalent:
+            rendered = [str(label) for label in report.counterexample]
+            assert "abort1" in rendered

@@ -1,0 +1,82 @@
+"""DOT-export tests (Figure 4 as a drawable artifact)."""
+
+from repro.core.generator import derive_protocol
+from repro.lotos.dot import lts_to_dot, syntax_tree_to_dot
+from repro.lotos.lts import build_lts
+from repro.lotos.parser import parse, parse_behaviour
+from repro.lotos.semantics import Semantics
+
+
+class TestSyntaxTreeDot:
+    def test_plain_tree(self):
+        spec = parse("SPEC a1; b2; exit ENDSPEC")
+        dot = syntax_tree_to_dot(spec)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "a1 ;" in dot and "b2 ;" in dot and "exit" in dot
+
+    def test_attributed_tree_reproduces_fig4_data(self):
+        from repro import workloads
+
+        result = derive_protocol(workloads.EXAMPLE3_FILE_TRANSFER)
+        dot = syntax_tree_to_dot(result.prepared, result.attrs)
+        # the root disable with its Fig. 4 attributes:
+        assert "SP={1,3}" in dot
+        assert "AP={1,2,3}" in dot
+        assert "[>" in dot
+        assert "PROC S" in dot
+
+    def test_operators_rendered(self):
+        spec = parse(
+            "SPEC (a1; exit ||| b2; exit) >> (m3; exit |[m3]| m3; exit) ENDSPEC"
+        )
+        dot = syntax_tree_to_dot(spec)
+        assert "|||" in dot and ">>" in dot and "|[m3]|" in dot
+
+    def test_quotes_escaped(self):
+        spec = parse("SPEC a1; exit ENDSPEC")
+        dot = syntax_tree_to_dot(spec)
+        assert '\\"' not in dot  # nothing to escape here, but no crash
+
+    def test_every_edge_references_defined_nodes(self):
+        spec = parse("SPEC A WHERE PROC A = a1; A [] b2; exit END ENDSPEC")
+        dot = syntax_tree_to_dot(spec)
+        defined = set()
+        referenced = set()
+        for line in dot.splitlines():
+            line = line.strip()
+            if "->" in line:
+                source, _, rest = line.partition("->")
+                referenced.add(source.strip())
+                referenced.add(rest.split("[")[0].strip().rstrip(";"))
+            elif line.endswith("];") and "[label=" in line:
+                defined.add(line.split("[")[0].strip())
+        assert referenced <= defined
+
+
+class TestLtsDot:
+    def test_small_lts(self):
+        lts = build_lts(parse_behaviour("a1; b2; exit"), Semantics())
+        dot = lts_to_dot(lts)
+        assert "doublecircle" in dot
+        assert 's0 -> s1 [label="a1"]' in dot
+        assert "delta" in dot
+
+    def test_internal_moves_dashed(self):
+        lts = build_lts(parse_behaviour("i; a1; exit"), Semantics())
+        dot = lts_to_dot(lts)
+        assert "style=dashed" in dot
+
+    def test_truncation_marker(self):
+        spec = parse("SPEC A WHERE PROC A = a1; A END ENDSPEC")
+        semantics, root = Semantics.of_specification(spec, bind_occurrences=True)
+        lts = build_lts(root, semantics, max_states=5, on_limit="truncate")
+        dot = lts_to_dot(lts)
+        assert "style=dotted" in dot
+
+    def test_state_cap(self):
+        spec = parse("SPEC A WHERE PROC A = a1; A END ENDSPEC")
+        semantics, root = Semantics.of_specification(spec, bind_occurrences=True)
+        lts = build_lts(root, semantics, max_states=50, on_limit="truncate")
+        dot = lts_to_dot(lts, max_states=10)
+        assert "more states" in dot

@@ -1,0 +1,177 @@
+"""Behavioural-equivalence tests: the observation congruence laws of the
+paper's Annex A, checked semantically.
+
+Each law ``B1 = B2`` from Annex A is validated by building both LTSs and
+asking for observation congruence (the laws are stated as congruences).
+These tests double as a regression net for the SOS rules: virtually any
+semantics bug breaks at least one law.
+"""
+
+import pytest
+
+from repro.lotos.equivalence import (
+    minimize_weak,
+    observationally_congruent,
+    strong_bisimilar,
+    weak_bisimilar,
+)
+from repro.lotos.lts import build_lts
+from repro.lotos.parser import parse_behaviour
+from repro.lotos.semantics import Semantics
+
+SEM = Semantics()
+
+
+def lts(text):
+    return build_lts(parse_behaviour(text), SEM)
+
+
+def congruent(text1, text2):
+    return observationally_congruent(lts(text1), lts(text2))
+
+
+def weakly(text1, text2):
+    return weak_bisimilar(lts(text1), lts(text2))
+
+
+def strongly(text1, text2):
+    return strong_bisimilar(lts(text1), lts(text2))
+
+
+class TestChoiceLaws:
+    def test_c1_commutativity(self):
+        assert congruent("a1; exit [] b2; exit", "b2; exit [] a1; exit")
+
+    def test_c2_associativity(self):
+        assert congruent(
+            "a1; exit [] (b2; exit [] c3; exit)",
+            "(a1; exit [] b2; exit) [] c3; exit",
+        )
+
+    def test_c3_idempotence(self):
+        assert congruent("a1; exit [] a1; exit", "a1; exit")
+
+
+class TestParallelLaws:
+    def test_p1_commutativity(self):
+        assert congruent("a1; exit ||| b2; exit", "b2; exit ||| a1; exit")
+        assert congruent(
+            "a1; exit |[a1]| a1; b2; exit", "a1; b2; exit |[a1]| a1; exit"
+        )
+
+    def test_p2_associativity(self):
+        assert congruent(
+            "a1; exit ||| (b2; exit ||| c3; exit)",
+            "(a1; exit ||| b2; exit) ||| c3; exit",
+        )
+
+    def test_p4_subset_equivalence(self):
+        # |[list]| equals || when the list covers both alphabets.
+        assert congruent(
+            "a1; exit |[a1]| a1; exit", "a1; exit || a1; exit"
+        )
+
+    def test_p5_empty_subset_is_interleaving(self):
+        assert congruent("a1; exit |[]| b2; exit", "a1; exit ||| b2; exit")
+
+    def test_exit_is_interleaving_unit(self):
+        assert congruent("a1; exit ||| exit", "a1; exit")
+
+
+class TestHidingLaws:
+    def test_h4_disjoint_hide_is_identity(self):
+        assert congruent("hide c3 in a1; exit", "a1; exit")
+
+    def test_h5_hiding_a_prefix(self):
+        assert congruent("hide a1 in a1; b2; exit", "i; b2; exit")
+
+    def test_h6_hide_distributes_over_choice(self):
+        assert weakly(
+            "hide c3 in (a1; c3; exit [] b2; exit)",
+            "(hide c3 in a1; c3; exit) [] (hide c3 in b2; exit)",
+        )
+
+    def test_h8_hide_distributes_over_enable(self):
+        assert congruent(
+            "hide c3 in (a1; exit >> c3; b2; exit)",
+            "(hide c3 in a1; exit) >> (hide c3 in c3; b2; exit)",
+        )
+
+
+class TestEnableLaws:
+    def test_e1_exit_enable(self):
+        assert congruent("exit >> b2; exit", "i; b2; exit")
+
+    def test_e2_associativity(self):
+        assert congruent(
+            "(a1; exit >> b2; exit) >> c3; exit",
+            "a1; exit >> (b2; exit >> c3; exit)",
+        )
+
+
+class TestDisableLaws:
+    def test_d1_associativity(self):
+        assert congruent(
+            "a1; exit [> (b2; exit [> c3; exit)",
+            "(a1; exit [> b2; exit) [> c3; exit",
+        )
+
+    def test_d2_absorption(self):
+        assert congruent(
+            "(a1; exit [> b2; exit) [] b2; exit", "a1; exit [> b2; exit"
+        )
+
+    def test_d3_exit_disable(self):
+        assert congruent("exit [> b2; exit", "exit [] b2; exit")
+
+
+class TestInternalActionLaws:
+    def test_i1_prefix_absorbs_internal(self):
+        assert congruent("a1; i; b2; exit", "a1; b2; exit")
+
+    def test_i2_tau_choice(self):
+        assert congruent("b2; exit [] i; b2; exit", "i; b2; exit")
+
+    def test_i3(self):
+        assert congruent(
+            "a1; (b2; exit [] i; c3; exit) [] a1; c3; exit",
+            "a1; (b2; exit [] i; c3; exit)",
+        )
+
+    def test_tau_prefix_not_congruent_to_bare(self):
+        # i;B ~weak~ B but NOT congruent (the rooted condition).
+        assert weakly("i; a1; exit", "a1; exit")
+        assert not congruent("i; a1; exit", "a1; exit")
+
+
+class TestEquivalenceHierarchy:
+    def test_strong_implies_weak(self):
+        assert strongly("a1; exit [] a1; exit", "a1; exit")
+        assert weakly("a1; exit [] a1; exit", "a1; exit")
+
+    def test_weak_does_not_imply_strong(self):
+        assert weakly("a1; i; b2; exit", "a1; b2; exit")
+        assert not strongly("a1; i; b2; exit", "a1; b2; exit")
+
+    def test_inequivalent_behaviours(self):
+        assert not weakly("a1; exit", "b2; exit")
+        assert not weakly("a1; b2; exit", "a1; exit")
+
+    def test_choice_vs_internal_choice(self):
+        # a[]b differs from i;a [] i;b even weakly (refusal after tau).
+        assert not weakly(
+            "a1; exit [] b2; exit", "i; a1; exit [] i; b2; exit"
+        )
+
+
+class TestMinimization:
+    def test_minimize_collapses_tau_chain(self):
+        built = lts("i; i; i; a1; exit")
+        classes, partition = minimize_weak(built)
+        # i;i;i;a1, i;i;a1, i;a1, a1 collapse into one class.
+        assert classes == 3  # {pre-a1 states}, {exit}, {stop}
+
+    def test_minimize_identity_on_minimal(self):
+        built = lts("a1; b2; exit")
+        classes, _ = minimize_weak(built)
+        assert classes == built.num_states

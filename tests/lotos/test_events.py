@@ -1,0 +1,123 @@
+"""Event-model unit tests: identity, rendering, matching, binding."""
+
+import pytest
+
+from repro.lotos.events import (
+    DELTA,
+    INTERNAL,
+    ReceiveAction,
+    SendAction,
+    ServicePrimitive,
+    SyncMessage,
+    matches,
+    place_of,
+)
+
+
+class TestLabels:
+    def test_primitive_rendering(self):
+        assert str(ServicePrimitive("read", 1)) == "read1"
+
+    def test_internal_is_unobservable(self):
+        assert not INTERNAL.is_observable()
+
+    def test_delta_is_observable(self):
+        assert DELTA.is_observable()
+
+    def test_primitive_equality(self):
+        assert ServicePrimitive("a", 1) == ServicePrimitive("a", 1)
+        assert ServicePrimitive("a", 1) != ServicePrimitive("a", 2)
+        assert ServicePrimitive("a", 1) != ServicePrimitive("b", 1)
+
+    def test_place_of(self):
+        assert place_of(ServicePrimitive("a", 3)) == 3
+        assert place_of(INTERNAL) is None
+        assert place_of(SendAction(dest=2, message=SyncMessage(1), src=4)) == 4
+        assert place_of(ReceiveAction(src=2, message=SyncMessage(1), dest=5)) == 5
+        assert place_of(SendAction(dest=2, message=SyncMessage(1))) is None
+
+
+class TestSyncMessage:
+    def test_bind_symbolic(self):
+        message = SyncMessage(8)
+        assert message.bind((1, 2)) == SyncMessage(8, (1, 2))
+
+    def test_bind_concrete_is_noop(self):
+        message = SyncMessage(8, (3,))
+        assert message.bind((1, 2)) is message
+
+    def test_render_compact(self):
+        assert SyncMessage(8).render() == "8"
+        assert SyncMessage(8, (1, 2)).render() == "8"
+
+    def test_render_full(self):
+        assert SyncMessage(8).render(compact=False) == "s,8"
+        assert SyncMessage(8, (1, 2)).render(compact=False) == "<1.2>,8"
+        assert SyncMessage(8, ()).render(compact=False) == "<>,8"
+
+    def test_render_kind(self):
+        assert SyncMessage(8, (), "exec").render() == "exec,8"
+
+    def test_identity_includes_occurrence_and_kind(self):
+        assert SyncMessage(8, (1,)) != SyncMessage(8, (2,))
+        assert SyncMessage(8, (), "exec") != SyncMessage(8, (), "done")
+
+
+class TestSendReceive:
+    def test_short_form_rendering(self):
+        assert str(SendAction(dest=2, message=SyncMessage(8))) == "s2(8)"
+        assert str(ReceiveAction(src=1, message=SyncMessage(8))) == "r1(8)"
+
+    def test_long_form_rendering(self):
+        assert (
+            SendAction(dest=2, message=SyncMessage(8), src=1).render()
+            == "s^1_2(8)"
+        )
+        assert (
+            ReceiveAction(src=1, message=SyncMessage(8), dest=2).render()
+            == "r^2_1(8)"
+        )
+
+    def test_with_src_and_short(self):
+        send = SendAction(dest=2, message=SyncMessage(8))
+        annotated = send.with_src(1)
+        assert annotated.src == 1
+        assert annotated.short() == send
+
+    def test_with_dest_and_short(self):
+        receive = ReceiveAction(src=1, message=SyncMessage(8))
+        annotated = receive.with_dest(2)
+        assert annotated.dest == 2
+        assert annotated.short() == receive
+
+
+class TestMatching:
+    def test_matching_pair(self):
+        send = SendAction(dest=2, message=SyncMessage(8), src=1)
+        receive = ReceiveAction(src=1, message=SyncMessage(8), dest=2)
+        assert matches(send, receive)
+
+    def test_message_mismatch(self):
+        send = SendAction(dest=2, message=SyncMessage(8), src=1)
+        receive = ReceiveAction(src=1, message=SyncMessage(9), dest=2)
+        assert not matches(send, receive)
+
+    def test_wrong_sender(self):
+        send = SendAction(dest=2, message=SyncMessage(8), src=3)
+        receive = ReceiveAction(src=1, message=SyncMessage(8), dest=2)
+        assert not matches(send, receive)
+
+    def test_wrong_destination(self):
+        send = SendAction(dest=3, message=SyncMessage(8), src=1)
+        receive = ReceiveAction(src=1, message=SyncMessage(8), dest=2)
+        assert not matches(send, receive)
+
+    def test_short_forms_match_on_message_only(self):
+        send = SendAction(dest=2, message=SyncMessage(8))
+        receive = ReceiveAction(src=1, message=SyncMessage(8))
+        assert matches(send, receive)
+
+    def test_occurrence_mismatch(self):
+        send = SendAction(dest=2, message=SyncMessage(8, (1,)), src=1)
+        receive = ReceiveAction(src=1, message=SyncMessage(8, (2,)), dest=2)
+        assert not matches(send, receive)

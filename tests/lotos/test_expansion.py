@@ -1,0 +1,130 @@
+"""Action-prefix-form transformation tests (paper rules 9.1-9.4)."""
+
+import pytest
+
+from repro.errors import ExpansionError
+from repro.lotos.expansion import (
+    head_normal_form,
+    is_action_prefix_form,
+    transform_disable_operands,
+)
+from repro.lotos.lts import build_lts
+from repro.lotos.equivalence import observationally_congruent
+from repro.lotos.parser import parse, parse_behaviour
+from repro.lotos.scope import flatten_spec
+from repro.lotos.semantics import Semantics
+from repro.lotos.syntax import Disable
+
+SEM = Semantics()
+
+
+class TestIsActionPrefixForm:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("a1; exit", True),
+            ("a1; exit [] b2; exit", True),
+            ("a1; exit [] b2; exit [] c3; exit", True),
+            ("a1; (b2; exit ||| c3; exit)", True),
+            ("a1; exit ||| b2; exit", False),
+            ("exit", False),
+            ("a1; exit >> b2; exit", False),
+            ("(a1; exit [] b2; exit) [] c3; exit", True),
+        ],
+    )
+    def test_classification(self, text, expected):
+        assert is_action_prefix_form(parse_behaviour(text)) is expected
+
+
+class TestHeadNormalForm:
+    def test_prefix_form_untouched(self):
+        node = parse_behaviour("a1; exit [] b2; exit")
+        assert head_normal_form(node, SEM) is node
+
+    def test_expansion_theorem_t1(self):
+        # The Annex A T1 example: parallel becomes choice of prefixes.
+        node = parse_behaviour("a1; exit ||| b2; exit")
+        normal = head_normal_form(node, SEM)
+        assert is_action_prefix_form(normal)
+        # semantics preserved (expansion is a congruence)
+        assert observationally_congruent(
+            build_lts(node, SEM), build_lts(normal, SEM)
+        )
+
+    def test_enable_expansion(self):
+        node = parse_behaviour("a1; exit >> b2; exit")
+        normal = head_normal_form(node, SEM)
+        assert is_action_prefix_form(normal)
+        assert observationally_congruent(
+            build_lts(node, SEM), build_lts(normal, SEM)
+        )
+
+    def test_immediate_termination_rejected(self):
+        with pytest.raises(ExpansionError):
+            head_normal_form(parse_behaviour("exit"), SEM)
+        with pytest.raises(ExpansionError):
+            head_normal_form(parse_behaviour("a1; exit [] exit"), SEM)
+
+    def test_immediate_termination_allowed_with_exit(self):
+        normal = head_normal_form(
+            parse_behaviour("a1; exit [] exit"), SEM, allow_exit=True
+        )
+        assert normal is not None
+
+    def test_stop_normalizes_to_stop(self):
+        from repro.lotos.syntax import Stop
+
+        assert head_normal_form(parse_behaviour("stop"), SEM) == Stop()
+
+
+class TestTransformDisableOperands:
+    def test_already_normal_spec_unchanged(self):
+        spec = flatten_spec(
+            parse("SPEC a1; exit [> b2; exit ENDSPEC")
+        )
+        assert transform_disable_operands(spec) is spec
+
+    def test_parallel_operand_expanded(self):
+        spec = flatten_spec(
+            parse("SPEC a1; exit [> (b2; exit ||| c3; exit) ENDSPEC")
+        )
+        transformed = transform_disable_operands(spec)
+        disable = transformed.root.behaviour
+        assert isinstance(disable, Disable)
+        assert is_action_prefix_form(disable.right)
+
+    def test_process_reference_operand_unfolded(self):
+        spec = flatten_spec(
+            parse(
+                "SPEC a1; exit [> B WHERE PROC B = b2; exit [] c3; exit END ENDSPEC"
+            )
+        )
+        transformed = transform_disable_operands(spec)
+        assert is_action_prefix_form(transformed.root.behaviour.right)
+
+    def test_nested_disable_in_residual(self):
+        spec = flatten_spec(
+            parse(
+                "SPEC a1; exit [> ((b2; exit) ||| (c3; exit [> d3; exit)) ENDSPEC"
+            )
+        )
+        transformed = transform_disable_operands(spec)
+
+        def all_normal(node):
+            for sub in node.walk():
+                if isinstance(sub, Disable) and not is_action_prefix_form(sub.right):
+                    return False
+            return True
+
+        assert all_normal(transformed.root.behaviour)
+
+    def test_transformation_preserves_semantics(self):
+        spec = flatten_spec(
+            parse("SPEC a1; b2; exit [> (c3; exit ||| d3; exit) ENDSPEC")
+        )
+        transformed = transform_disable_operands(spec)
+        sem1, root1 = Semantics.of_specification(spec)
+        sem2, root2 = Semantics.of_specification(transformed)
+        assert observationally_congruent(
+            build_lts(root1, sem1), build_lts(root2, sem2)
+        )

@@ -1,0 +1,121 @@
+"""Lexer unit tests: tokens, positions, comments, error handling."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.lotos.lexer import split_event_identifier, tokenize
+
+
+def token_types(text):
+    return [token.type for token in tokenize(text)]
+
+
+def token_values(text):
+    return [token.value for token in tokenize(text) if token.type != "EOF"]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type == "EOF"
+
+    def test_whitespace_only(self):
+        assert token_types("  \n\t  ") == ["EOF"]
+
+    def test_keywords(self):
+        assert token_types("SPEC ENDSPEC PROC END WHERE exit") == [
+            "KEYWORD"
+        ] * 6 + ["EOF"]
+
+    def test_extension_keywords(self):
+        assert token_types("stop hide in empty") == ["KEYWORD"] * 4 + ["EOF"]
+
+    def test_identifiers_are_not_keywords(self):
+        types = token_types("read1 Spec SPECS exits")
+        assert types == ["IDENT"] * 4 + ["EOF"]
+
+    def test_numbers(self):
+        tokens = tokenize("123 4")
+        assert [t.type for t in tokens[:-1]] == ["NUMBER", "NUMBER"]
+        assert [t.value for t in tokens[:-1]] == ["123", "4"]
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("|||", ["INTERLEAVE"]),
+            ("||", ["FULLSYNC"]),
+            ("|[", ["LSYNC"]),
+            ("]|", ["RSYNC"]),
+            ("[>", ["DISABLE"]),
+            ("[]", ["CHOICE"]),
+            (">>", ["ENABLE"]),
+            (";", ["SEMI"]),
+            ("=", ["EQUALS"]),
+            (",", ["COMMA"]),
+        ],
+    )
+    def test_single_operator(self, text, expected):
+        assert token_types(text) == expected + ["EOF"]
+
+    def test_maximal_munch_interleave_vs_fullsync(self):
+        # ||| must not lex as || followed by |.
+        assert token_types("|||") == ["INTERLEAVE", "EOF"]
+
+    def test_lone_bracket_is_an_error(self):
+        with pytest.raises(LexerError):
+            tokenize("]")
+
+    def test_disable_vs_choice(self):
+        assert token_types("[>[]") == ["DISABLE", "CHOICE", "EOF"]
+
+
+class TestComments:
+    def test_comment_is_skipped(self):
+        assert token_values("a1 (* a comment *) ; exit") == ["a1", ";", "exit"]
+
+    def test_comment_may_contain_operators(self):
+        assert token_values("(* ;;; [] |[ *) b2") == ["b2"]
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("a1 (* never closed")
+        assert "unterminated" in str(excinfo.value)
+
+    def test_parenthesis_not_comment(self):
+        assert token_values("( a1 )") == ["(", "a1", ")"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a1;\nb2; exit")
+        b2 = next(t for t in tokens if t.value == "b2")
+        assert (b2.line, b2.column) == (2, 1)
+        exit_token = next(t for t in tokens if t.value == "exit")
+        assert (exit_token.line, exit_token.column) == (2, 5)
+
+    def test_error_position(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("a1;\n  @")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 3
+
+
+class TestSplitEventIdentifier:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("a1", ("a", 1)),
+            ("read1", ("read", 1)),
+            ("push2", ("push", 2)),
+            ("interrupt3", ("interrupt", 3)),
+            ("a12", ("a", 12)),
+            ("data2go3", ("data2go", 3)),
+            ("i", ("i", None)),
+            ("read", ("read", None)),
+        ],
+    )
+    def test_split(self, name, expected):
+        assert split_event_identifier(name) == expected

@@ -1,0 +1,101 @@
+"""LTS construction: completeness, truncation, deadlock analysis."""
+
+import pytest
+
+from repro.errors import StateSpaceLimitExceeded
+from repro.lotos.lts import build_lts
+from repro.lotos.parser import parse, parse_behaviour
+from repro.lotos.semantics import Semantics
+
+SEM = Semantics()
+
+
+class TestConstruction:
+    def test_linear_chain(self):
+        lts = build_lts(parse_behaviour("a1; b2; exit"), SEM)
+        # a1;b2;exit -> b2;exit -> exit -> stop
+        assert lts.num_states == 4
+        assert lts.num_transitions == 3
+        assert lts.complete
+
+    def test_sharing_of_identical_states(self):
+        # Both branches converge on the same residual.
+        lts = build_lts(parse_behaviour("a1; c1; exit [] b1; c1; exit"), SEM)
+        assert lts.num_states == 4  # root, c1;exit, exit, stop
+
+    def test_diamond_from_interleaving(self):
+        lts = build_lts(parse_behaviour("a1; exit ||| b2; exit"), SEM)
+        # The 2x2 progress diamond plus the synchronized-termination
+        # residue: delta fires only from (exit ||| exit).
+        assert lts.complete
+        assert lts.num_states == 5
+        assert lts.num_transitions == 5
+
+    def test_labels(self):
+        lts = build_lts(parse_behaviour("a1; exit ||| b2; exit"), SEM)
+        assert {str(l) for l in lts.labels()} == {"a1", "b2", "delta"}
+
+    def test_observable_labels_exclude_internal(self):
+        lts = build_lts(parse_behaviour("i; a1; exit"), SEM)
+        assert {str(l) for l in lts.observable_labels()} == {"a1", "delta"}
+
+    def test_successors(self):
+        lts = build_lts(parse_behaviour("a1; exit [] a1; stop"), SEM)
+        from repro.lotos.events import ServicePrimitive
+
+        targets = lts.successors(0, ServicePrimitive("a", 1))
+        assert len(targets) == 2
+
+
+class TestBudget:
+    def test_raise_on_limit(self):
+        spec = parse("SPEC A WHERE PROC A = a1; A END ENDSPEC")
+        semantics, root = Semantics.of_specification(spec, bind_occurrences=True)
+        # occurrence paths make every unfolding a fresh state
+        with pytest.raises(StateSpaceLimitExceeded):
+            build_lts(root, semantics, max_states=50, on_limit="raise")
+
+    def test_truncate_on_limit(self):
+        spec = parse("SPEC A WHERE PROC A = a1; A END ENDSPEC")
+        semantics, root = Semantics.of_specification(spec, bind_occurrences=True)
+        lts = build_lts(root, semantics, max_states=50, on_limit="truncate")
+        assert not lts.complete
+        assert lts.num_states == 50
+        assert lts.truncated_states
+
+    def test_tail_recursion_without_occurrences_is_finite(self):
+        spec = parse("SPEC A WHERE PROC A = a1; A END ENDSPEC")
+        semantics, root = Semantics.of_specification(spec, bind_occurrences=False)
+        lts = build_lts(root, semantics, max_states=50)
+        assert lts.complete
+        assert lts.num_states == 1  # a1; A loops back to itself
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            build_lts(parse_behaviour("a1; exit"), SEM, on_limit="explode")
+
+
+class TestDeadlocks:
+    def test_stop_after_delta_is_not_a_genuine_deadlock(self):
+        lts = build_lts(parse_behaviour("a1; exit"), SEM)
+        assert lts.deadlock_states()  # the stop residue
+        assert lts.genuine_deadlocks() == []
+
+    def test_explicit_stop_is_genuine(self):
+        lts = build_lts(parse_behaviour("a1; stop"), SEM)
+        assert len(lts.genuine_deadlocks()) == 1
+
+    def test_sync_mismatch_deadlock(self):
+        lts = build_lts(parse_behaviour("a1; m1; exit |[m1]| b1; n1; exit |[n1]| exit"), SEM)
+        assert lts.genuine_deadlocks()
+
+
+class TestTauClosure:
+    def test_closure_follows_internal_chains(self):
+        lts = build_lts(parse_behaviour("i; i; a1; exit"), SEM)
+        closure = lts.tau_closure(lts.initial)
+        assert len(closure) == 3  # root, i;a1, a1
+
+    def test_closure_is_reflexive(self):
+        lts = build_lts(parse_behaviour("a1; exit"), SEM)
+        assert lts.tau_closure(0) == {0}

@@ -1,0 +1,257 @@
+"""Parser tests: every Table 1 production, precedence, and errors (E1)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lotos.events import (
+    InternalAction,
+    ReceiveAction,
+    SendAction,
+    ServicePrimitive,
+    SyncMessage,
+)
+from repro.lotos.parser import parse, parse_behaviour
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Choice,
+    Disable,
+    Enable,
+    Exit,
+    Hide,
+    Parallel,
+    ProcessRef,
+    Stop,
+)
+
+
+class TestEvents:
+    def test_service_primitive(self):
+        node = parse_behaviour("read1; exit")
+        assert node == ActionPrefix(ServicePrimitive("read", 1), Exit())
+
+    def test_multidigit_place(self):
+        node = parse_behaviour("a12; exit")
+        assert node.event == ServicePrimitive("a", 12)
+
+    def test_internal_action(self):
+        node = parse_behaviour("i; a1; exit")
+        assert node.event == InternalAction()
+
+    def test_send_interaction(self):
+        node = parse_behaviour("s2(8); exit")
+        assert node.event == SendAction(dest=2, message=SyncMessage(8))
+
+    def test_receive_interaction(self):
+        node = parse_behaviour("r1(2); exit")
+        assert node.event == ReceiveAction(src=1, message=SyncMessage(2))
+
+    def test_message_with_symbolic_occurrence(self):
+        node = parse_behaviour("s2(s,8); exit")
+        assert node.event.message == SyncMessage(8, occurrence=None)
+
+    def test_message_with_concrete_occurrence(self):
+        node = parse_behaviour("s2(<3.5>,8); exit")
+        assert node.event.message == SyncMessage(8, occurrence=(3, 5))
+
+    def test_message_with_root_occurrence(self):
+        node = parse_behaviour("s2(<>,8); exit")
+        assert node.event.message == SyncMessage(8, occurrence=())
+
+    def test_message_with_kind(self):
+        node = parse_behaviour("s2(exec,8); exit")
+        assert node.event.message == SyncMessage(8, kind="exec")
+
+    def test_s_without_parens_is_a_primitive(self):
+        node = parse_behaviour("s2; exit")
+        assert node.event == ServicePrimitive("s", 2)
+
+    def test_event_without_place_rejected(self):
+        with pytest.raises(ParseError, match="place"):
+            parse_behaviour("read; exit")
+
+
+class TestSequences:
+    def test_event_exit(self):
+        node = parse_behaviour("a1; exit")
+        assert isinstance(node.continuation, Exit)
+
+    def test_event_stop(self):
+        node = parse_behaviour("a1; stop")
+        assert isinstance(node.continuation, Stop)
+
+    def test_chain(self):
+        node = parse_behaviour("a1; b2; c3; exit")
+        assert node.event == ServicePrimitive("a", 1)
+        assert node.continuation.event == ServicePrimitive("b", 2)
+        assert node.continuation.continuation.event == ServicePrimitive("c", 3)
+
+    def test_process_reference(self):
+        node = parse_behaviour("a1; B")
+        assert node.continuation == ProcessRef("B")
+
+    def test_parenthesized_expression(self):
+        node = parse_behaviour("a1; (b2; exit [] c2; exit)")
+        assert isinstance(node.continuation, Choice)
+
+
+class TestOperatorsAndPrecedence:
+    def test_choice(self):
+        node = parse_behaviour("a1; exit [] b1; exit")
+        assert isinstance(node, Choice)
+
+    def test_choice_is_right_associative(self):
+        node = parse_behaviour("a1; exit [] b1; exit [] c1; exit")
+        assert isinstance(node, Choice)
+        assert isinstance(node.right, Choice)
+        assert isinstance(node.left, ActionPrefix)
+
+    def test_prefix_binds_tighter_than_choice(self):
+        node = parse_behaviour("a1; b1; exit [] c1; exit")
+        assert isinstance(node, Choice)
+        assert node.left.event == ServicePrimitive("a", 1)
+
+    def test_interleave(self):
+        node = parse_behaviour("a1; exit ||| b2; exit")
+        assert isinstance(node, Parallel)
+        assert node.is_interleaving()
+
+    def test_full_sync(self):
+        node = parse_behaviour("a1; exit || a1; exit")
+        assert isinstance(node, Parallel)
+        assert node.sync_all
+
+    def test_general_parallel(self):
+        node = parse_behaviour("a1; m2; exit |[m2]| m2; c3; exit")
+        assert node.sync == frozenset({ServicePrimitive("m", 2)})
+
+    def test_general_parallel_multiple_gates(self):
+        node = parse_behaviour("a1; exit |[a1, b2]| b2; exit")
+        assert node.sync == frozenset(
+            {ServicePrimitive("a", 1), ServicePrimitive("b", 2)}
+        )
+
+    def test_empty_sync_subset(self):
+        node = parse_behaviour("a1; exit |[]| b2; exit")
+        assert node.is_interleaving()
+
+    def test_choice_binds_tighter_than_parallel(self):
+        node = parse_behaviour("a1; exit [] b1; exit ||| c2; exit")
+        assert isinstance(node, Parallel)
+        assert isinstance(node.left, Choice)
+
+    def test_parallel_binds_tighter_than_disable(self):
+        node = parse_behaviour("a1; exit ||| b2; exit [> c1; exit")
+        assert isinstance(node, Disable)
+        assert isinstance(node.left, Parallel)
+
+    def test_disable_binds_tighter_than_enable(self):
+        node = parse_behaviour("a1; exit [> b1; exit >> c1; exit")
+        assert isinstance(node, Enable)
+        assert isinstance(node.left, Disable)
+
+    def test_enable_is_right_associative(self):
+        node = parse_behaviour("a1; exit >> b1; exit >> c1; exit")
+        assert isinstance(node, Enable)
+        assert isinstance(node.right, Enable)
+
+    def test_disable_right_nests(self):
+        node = parse_behaviour("a1; exit [> b1; exit [> c1; exit")
+        assert isinstance(node, Disable)
+        assert isinstance(node.right, Disable)
+
+    def test_paper_example3_body_shape(self):
+        # (read1; push2; S >> pop2; write3; exit): the >> splits the
+        # prefix chains, rule 19 parentheses notwithstanding.
+        node = parse_behaviour("read1; push2; S >> pop2; write3; exit")
+        assert isinstance(node, Enable)
+        assert node.left.event == ServicePrimitive("read", 1)
+        assert node.left.continuation.continuation == ProcessRef("S")
+
+
+class TestHideExtension:
+    def test_hide_events(self):
+        node = parse_behaviour("hide a1, b2 in a1; b2; exit")
+        assert isinstance(node, Hide)
+        assert node.gates == frozenset(
+            {ServicePrimitive("a", 1), ServicePrimitive("b", 2)}
+        )
+
+    def test_hide_messages(self):
+        node = parse_behaviour("hide messages in s2(1); exit")
+        assert node.hide_messages
+
+
+class TestSpecifications:
+    def test_minimal_spec(self):
+        spec = parse("SPEC a1; exit ENDSPEC")
+        assert spec.definitions == ()
+        assert spec.behaviour == ActionPrefix(ServicePrimitive("a", 1), Exit())
+
+    def test_spec_with_where(self):
+        spec = parse("SPEC A WHERE PROC A = a1; exit END ENDSPEC")
+        assert len(spec.definitions) == 1
+        assert spec.definitions[0].name == "A"
+
+    def test_multiple_process_definitions(self):
+        spec = parse(
+            "SPEC A WHERE PROC A = a1; B END PROC B = b2; exit END ENDSPEC"
+        )
+        assert [d.name for d in spec.definitions] == ["A", "B"]
+
+    def test_nested_where(self):
+        spec = parse(
+            "SPEC A WHERE PROC A = B WHERE PROC B = b2; exit END END ENDSPEC"
+        )
+        inner = spec.definitions[0].body.definitions
+        assert inner[0].name == "B"
+
+    def test_example1_from_paper(self):
+        spec = parse(
+            "SPEC (a1; b2; B) >> (d3; exit) WHERE PROC B = c1; exit END ENDSPEC"
+        )
+        assert isinstance(spec.behaviour, Enable)
+
+    def test_example3_from_paper(self):
+        spec = parse(
+            """SPEC S [> interrupt3; exit WHERE
+                 PROC S = (read1; push2; S >> pop2; write3; exit)
+                       [] (eof1; make3; exit) END
+               ENDSPEC"""
+        )
+        assert isinstance(spec.behaviour, Disable)
+        body = spec.definitions[0].body.behaviour
+        assert isinstance(body, Choice)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SPEC ENDSPEC",
+            "SPEC a1; exit",  # missing ENDSPEC
+            "a1 exit",  # missing semicolon
+            "SPEC a1; exit WHERE ENDSPEC",  # WHERE without PROC
+            "SPEC A WHERE PROC a = b1; exit END ENDSPEC",  # lowercase proc id
+            "a1; exit [] ",
+            "(a1; exit",
+            "a1; exit |[ b2 c3 ]| exit",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            if text.startswith("SPEC"):
+                parse(text)
+            else:
+                parse_behaviour(text)
+
+    def test_uppercase_event_rejected(self):
+        with pytest.raises(ParseError, match="lower-case"):
+            parse_behaviour("a1; exit |[B2]| exit")
+
+    def test_message_without_node_rejected(self):
+        with pytest.raises(ParseError):
+            parse_behaviour("s2(s); exit")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_behaviour("a1; exit b2")

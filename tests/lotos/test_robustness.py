@@ -1,0 +1,103 @@
+"""Fuzz-style robustness: hostile input never escapes the error API."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.lotos.events import Label
+from repro.lotos.lts import build_lts
+from repro.lotos.parser import parse, parse_behaviour
+from repro.lotos.semantics import Semantics
+from repro.lotos.syntax import Behaviour, Empty
+from tests.lotos.test_unparse_roundtrip import behaviours
+
+
+class TestParserRobustness:
+    @given(st.text(alphabet=string.printable, max_size=80))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse_behaviour(text)
+        except ReproError:
+            pass  # rejecting is fine; crashing with anything else is not
+        except RecursionError:
+            pass  # pathological nesting is acceptable to refuse
+
+    TOKENS = [
+        "SPEC", "ENDSPEC", "PROC", "END", "WHERE", "exit", "stop",
+        "a1", "b2", "read1", "A", "B", "i", "s2(1)", "r1(2)",
+        ";", "[]", "|||", "||", "|[", "]|", "[>", ">>", "(", ")", "=", ",",
+    ]
+
+    @given(st.lists(st.sampled_from(TOKENS), max_size=25))
+    @settings(max_examples=300, deadline=None)
+    def test_token_soup_never_crashes(self, tokens):
+        text = " ".join(tokens)
+        for entry in (parse, parse_behaviour):
+            try:
+                entry(text)
+            except ReproError:
+                pass
+
+    @given(st.lists(st.sampled_from(TOKENS), max_size=25))
+    @settings(max_examples=150, deadline=None)
+    def test_accepted_token_soup_round_trips(self, tokens):
+        from repro.lotos.unparse import unparse_behaviour
+
+        text = " ".join(tokens)
+        try:
+            node = parse_behaviour(text)
+        except ReproError:
+            return
+        assert parse_behaviour(unparse_behaviour(node, compact=False)) == node
+
+
+class TestSemanticsRobustness:
+    @given(behaviours)
+    @settings(max_examples=200, deadline=None)
+    def test_transitions_well_typed(self, node: Behaviour):
+        semantics = Semantics({"A": Empty(), "B": Empty(), "Loop": Empty()})
+        try:
+            transitions = semantics.transitions(node)
+        except ReproError:
+            return  # Empty() has no semantics; dangling refs resolve to it
+        for label, residual in transitions:
+            assert isinstance(label, Label)
+            assert isinstance(residual, Behaviour)
+
+    @given(behaviours)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_lts_never_crashes(self, node: Behaviour):
+        from repro.lotos.syntax import ActionPrefix, Exit
+
+        semantics = Semantics(
+            {
+                "A": ActionPrefix(
+                    __import__("repro.lotos.events", fromlist=["ServicePrimitive"])
+                    .ServicePrimitive("z", 1),
+                    Exit(),
+                ),
+                "B": Exit(),
+                "Loop": Exit(),
+            }
+        )
+        try:
+            lts = build_lts(node, semantics, max_states=200, on_limit="truncate")
+        except ReproError:
+            return
+        assert lts.num_states >= 1
+
+
+class TestSimplifierRobustness:
+    @given(behaviours)
+    @settings(max_examples=200, deadline=None)
+    def test_simplify_idempotent(self, node: Behaviour):
+        from repro.core.simplify import simplify
+        from repro.errors import DerivationError
+
+        try:
+            once = simplify(node)
+        except DerivationError:
+            return  # half-empty choice: correctly rejected
+        assert simplify(once) == once

@@ -1,0 +1,102 @@
+"""Scope elaboration and occurrence binding tests."""
+
+import pytest
+
+from repro.errors import UnboundProcessError
+from repro.lotos.events import ReceiveAction, SendAction, SyncMessage
+from repro.lotos.parser import parse, parse_behaviour
+from repro.lotos.scope import bind_occurrence, flatten, flatten_spec
+from repro.lotos.syntax import ActionPrefix, ProcessRef
+
+
+class TestFlatten:
+    def test_single_level(self):
+        spec = parse("SPEC A WHERE PROC A = a1; exit END ENDSPEC")
+        root, definitions = flatten(spec)
+        assert root == ProcessRef("A")
+        assert set(definitions) == {"A"}
+
+    def test_nested_definitions_lifted(self):
+        spec = parse(
+            "SPEC A WHERE PROC A = B WHERE PROC B = b2; exit END END ENDSPEC"
+        )
+        root, definitions = flatten(spec)
+        assert set(definitions) == {"A", "B"}
+        assert definitions["A"] == ProcessRef("B")
+
+    def test_shadowing_disambiguated(self):
+        spec = parse(
+            """SPEC A WHERE
+                 PROC A = B WHERE PROC B = a1; exit END END
+                 PROC B = b2; exit END
+               ENDSPEC"""
+        )
+        root, definitions = flatten(spec)
+        assert set(definitions) == {"A", "B", "B#2"}
+        # Inner reference resolves to the inner (first-flattened) B.
+        inner_name = definitions["A"].name
+        assert definitions[inner_name] == parse_behaviour("a1; exit")
+
+    def test_sibling_scope_visibility(self):
+        spec = parse(
+            "SPEC A WHERE PROC A = a1; B END PROC B = b2; A END ENDSPEC"
+        )
+        _, definitions = flatten(spec)
+        assert definitions["A"].continuation == ProcessRef("B")
+        assert definitions["B"].continuation == ProcessRef("A")
+
+    def test_unbound_reference_raises(self):
+        spec = parse("SPEC A WHERE PROC A = Missing END ENDSPEC")
+        with pytest.raises(UnboundProcessError):
+            flatten(spec)
+
+    def test_flatten_spec_shape(self):
+        spec = parse(
+            "SPEC A WHERE PROC A = B WHERE PROC B = b2; exit END END ENDSPEC"
+        )
+        flat = flatten_spec(spec)
+        assert [d.name for d in flat.definitions] == ["A", "B"]
+        assert all(not d.body.definitions for d in flat.definitions)
+
+
+class TestBindOccurrence:
+    def test_symbolic_message_bound(self):
+        node = parse_behaviour("s2(8); exit")
+        bound = bind_occurrence(node, (3,))
+        assert bound.event.message == SyncMessage(8, (3,))
+
+    def test_concrete_message_unchanged(self):
+        node = ActionPrefix(
+            SendAction(dest=2, message=SyncMessage(8, (1,))),
+            parse_behaviour("exit"),
+        )
+        assert bind_occurrence(node, (9,)) is node
+
+    def test_receive_bound(self):
+        node = parse_behaviour("r1(4); exit")
+        bound = bind_occurrence(node, (2, 7))
+        assert bound.event.message.occurrence == (2, 7)
+
+    def test_reference_extended_by_site(self):
+        ref = ProcessRef("A", site=5)
+        bound = bind_occurrence(ref, (3,))
+        assert bound.occurrence == (3, 5)
+
+    def test_bound_reference_unchanged(self):
+        ref = ProcessRef("A", site=5, occurrence=(1, 2))
+        assert bind_occurrence(ref, (9,)) is ref
+
+    def test_binding_is_deep(self):
+        node = parse_behaviour("s2(1); exit ||| (r3(2); exit >> A)")
+        bound = bind_occurrence(node, (4,))
+        messages = [
+            sub.event.message
+            for sub in bound.walk()
+            if isinstance(sub, ActionPrefix)
+            and isinstance(sub.event, (SendAction, ReceiveAction))
+        ]
+        assert all(m.occurrence == (4,) for m in messages)
+
+    def test_binding_primitives_is_identity(self):
+        node = parse_behaviour("a1; b2; exit")
+        assert bind_occurrence(node, (1,)) is node

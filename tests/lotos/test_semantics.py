@@ -1,0 +1,238 @@
+"""SOS rule tests, one class per operator, plus recursion handling."""
+
+import pytest
+
+from repro.errors import (
+    SemanticsError,
+    UnboundProcessError,
+    UnguardedRecursionError,
+)
+from repro.lotos.events import DELTA, INTERNAL, Delta, ServicePrimitive
+from repro.lotos.parser import parse, parse_behaviour
+from repro.lotos.semantics import Semantics
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Disable,
+    Empty,
+    Enable,
+    Exit,
+    Parallel,
+    Stop,
+)
+
+SEM = Semantics()
+
+
+def labels_of(node, semantics=SEM):
+    return sorted(str(label) for label, _ in semantics.transitions(node))
+
+
+class TestBasics:
+    def test_stop_has_no_transitions(self):
+        assert SEM.transitions(Stop()) == ()
+
+    def test_exit_offers_delta(self):
+        ((label, residual),) = SEM.transitions(Exit())
+        assert isinstance(label, Delta)
+        assert residual == Stop()
+
+    def test_action_prefix(self):
+        node = parse_behaviour("a1; b2; exit")
+        ((label, residual),) = SEM.transitions(node)
+        assert label == ServicePrimitive("a", 1)
+        assert residual == parse_behaviour("b2; exit")
+
+    def test_internal_prefix(self):
+        node = parse_behaviour("i; a1; exit")
+        ((label, _),) = SEM.transitions(node)
+        assert label == INTERNAL
+        assert not label.is_observable()
+
+    def test_empty_has_no_semantics(self):
+        with pytest.raises(SemanticsError, match="empty"):
+            SEM.transitions(Empty())
+
+
+class TestChoice:
+    def test_offers_both_initials(self):
+        node = parse_behaviour("a1; exit [] b2; exit")
+        assert labels_of(node) == ["a1", "b2"]
+
+    def test_choice_commits(self):
+        node = parse_behaviour("a1; c1; exit [] b2; exit")
+        (_, after_a), _ = SEM.transitions(node)
+        assert labels_of(after_a) == ["c1"]
+
+    def test_delta_is_a_choice_initial(self):
+        node = parse_behaviour("a1; exit [] exit")
+        assert labels_of(node) == ["a1", "delta"]
+
+
+class TestParallel:
+    def test_interleaving(self):
+        node = parse_behaviour("a1; exit ||| b2; exit")
+        assert labels_of(node) == ["a1", "b2"]
+
+    def test_interleaving_keeps_other_side(self):
+        node = parse_behaviour("a1; exit ||| b2; exit")
+        transitions = dict(
+            (str(label), residual) for label, residual in SEM.transitions(node)
+        )
+        assert labels_of(transitions["a1"]) == ["b2"]
+
+    def test_delta_synchronizes(self):
+        node = parse_behaviour("exit ||| exit")
+        assert labels_of(node) == ["delta"]
+
+    def test_delta_blocked_until_both_sides_terminate(self):
+        node = parse_behaviour("a1; exit ||| exit")
+        assert labels_of(node) == ["a1"]
+
+    def test_rendezvous(self):
+        node = parse_behaviour("m1; exit |[m1]| m1; exit")
+        ((label, residual),) = SEM.transitions(node)
+        assert label == ServicePrimitive("m", 1)
+        assert labels_of(residual) == ["delta"]
+
+    def test_rendezvous_blocks_when_one_side_not_ready(self):
+        node = parse_behaviour("m1; exit |[m1]| a2; m1; exit")
+        assert labels_of(node) == ["a2"]
+
+    def test_full_sync(self):
+        node = parse_behaviour("m1; exit || m1; exit")
+        assert labels_of(node) == ["m1"]
+
+    def test_full_sync_mismatch_deadlocks(self):
+        node = parse_behaviour("a1; exit || b1; exit")
+        assert labels_of(node) == []
+
+    def test_internal_never_synchronizes(self):
+        node = parse_behaviour("i; a1; exit || i; a1; exit")
+        # Both internal moves interleave even under ||.
+        assert labels_of(node) == ["i", "i"]
+
+
+class TestEnable:
+    def test_left_moves_first(self):
+        node = parse_behaviour("a1; exit >> b2; exit")
+        ((label, residual),) = SEM.transitions(node)
+        assert str(label) == "a1"
+        assert isinstance(residual, Enable)
+
+    def test_delta_becomes_internal(self):
+        node = parse_behaviour("(a1; exit) >> b2; exit")
+        (_, after_a), = SEM.transitions(node)
+        ((label, residual),) = SEM.transitions(after_a)
+        assert label == INTERNAL
+        assert residual == parse_behaviour("b2; exit")
+
+    def test_right_inert_until_left_terminates(self):
+        node = parse_behaviour("a1; c1; exit >> b2; exit")
+        assert labels_of(node) == ["a1"]
+
+
+class TestDisable:
+    def test_both_sides_initially_enabled(self):
+        node = parse_behaviour("a1; exit [> b2; exit")
+        assert labels_of(node) == ["a1", "b2"]
+
+    def test_disable_stays_armed_during_left(self):
+        node = parse_behaviour("a1; c1; exit [> b2; exit")
+        transitions = {str(l): r for l, r in SEM.transitions(node)}
+        assert isinstance(transitions["a1"], Disable)
+        assert labels_of(transitions["a1"]) == ["b2", "c1"]
+
+    def test_interrupt_discards_left(self):
+        node = parse_behaviour("a1; c1; exit [> b2; exit")
+        transitions = {str(l): r for l, r in SEM.transitions(node)}
+        assert labels_of(transitions["b2"]) == ["delta"]
+
+    def test_left_termination_discards_right(self):
+        node = parse_behaviour("exit [> b2; exit")
+        transitions = {str(l): r for l, r in SEM.transitions(node)}
+        assert set(transitions) == {"delta", "b2"}
+        assert labels_of(transitions["delta"]) == []  # stop
+
+
+class TestHide:
+    def test_hidden_event_becomes_internal(self):
+        node = parse_behaviour("hide a1 in a1; b2; exit")
+        ((label, residual),) = SEM.transitions(node)
+        assert label == INTERNAL
+        assert labels_of(residual) == ["b2"]
+
+    def test_delta_is_never_hidden(self):
+        node = parse_behaviour("hide a1 in exit")
+        ((label, _),) = SEM.transitions(node)
+        assert isinstance(label, Delta)
+
+    def test_hide_messages(self):
+        node = parse_behaviour("hide messages in s2(1); a1; exit")
+        ((label, residual),) = SEM.transitions(node)
+        assert label == INTERNAL
+        assert labels_of(residual) == ["a1"]
+
+
+class TestProcesses:
+    def test_unfolding(self):
+        spec = parse("SPEC A WHERE PROC A = a1; A END ENDSPEC")
+        semantics, root = Semantics.of_specification(spec)
+        ((label, residual),) = semantics.transitions(root)
+        assert str(label) == "a1"
+        ((label2, _),) = semantics.transitions(residual)
+        assert str(label2) == "a1"
+
+    def test_unbound_reference(self):
+        semantics = Semantics({})
+        with pytest.raises(UnboundProcessError):
+            semantics.transitions(parse_behaviour("B"))
+
+    def test_unreached_reference_is_not_resolved(self):
+        # Lazy unfolding: the dangling B is never consulted while it sits
+        # behind an unexecuted prefix.
+        semantics = Semantics({})
+        node = parse_behaviour("a1; exit >> B")
+        assert [str(l) for l, _ in semantics.transitions(node)] == ["a1"]
+
+    def test_unguarded_recursion_detected(self):
+        spec = parse("SPEC A WHERE PROC A = A END ENDSPEC")
+        semantics, root = Semantics.of_specification(spec)
+        with pytest.raises(UnguardedRecursionError):
+            semantics.transitions(root)
+
+    def test_mutual_recursion(self):
+        spec = parse(
+            "SPEC A WHERE PROC A = a1; B END PROC B = b2; A END ENDSPEC"
+        )
+        semantics, root = Semantics.of_specification(spec)
+        seen = []
+        node = root
+        for _ in range(4):
+            ((label, node),) = semantics.transitions(node)
+            seen.append(str(label))
+        assert seen == ["a1", "b2", "a1", "b2"]
+
+    def test_nested_scope_shadowing(self):
+        spec = parse(
+            """SPEC A WHERE
+                 PROC A = B WHERE PROC B = a1; exit END END
+                 PROC B = b2; exit END
+               ENDSPEC"""
+        )
+        semantics, root = Semantics.of_specification(spec)
+        # The inner B (a1) must win inside A.
+        ((label, _),) = semantics.transitions(root)
+        assert str(label) == "a1"
+
+
+class TestTransitionCaching:
+    def test_results_are_memoized(self):
+        semantics = Semantics()
+        node = parse_behaviour("a1; exit ||| b2; exit")
+        first = semantics.transitions(node)
+        second = semantics.transitions(node)
+        assert first is second
+
+    def test_duplicate_transitions_are_merged(self):
+        node = parse_behaviour("a1; exit [] a1; exit")
+        assert len(SEM.transitions(node)) == 1

@@ -1,0 +1,156 @@
+"""Weak-trace machinery: acceptance, enumeration, bounded comparison."""
+
+from repro.lotos.events import DELTA, ServicePrimitive
+from repro.lotos.parser import parse, parse_behaviour
+from repro.lotos.semantics import Semantics
+from repro.lotos.traces import (
+    accepts,
+    enumerate_weak_traces,
+    format_trace,
+    initial_class,
+    observable_moves,
+    weak_trace_equivalent,
+    weak_trace_included,
+)
+
+SEM = Semantics()
+
+
+def prim(name, place):
+    return ServicePrimitive(name, place)
+
+
+class TestAccepts:
+    def test_empty_trace_always_accepted(self):
+        assert accepts(parse_behaviour("a1; exit"), SEM, [])
+
+    def test_simple_trace(self):
+        node = parse_behaviour("a1; b2; exit")
+        assert accepts(node, SEM, [prim("a", 1), prim("b", 2)])
+        assert accepts(node, SEM, [prim("a", 1), prim("b", 2), DELTA])
+
+    def test_rejects_wrong_order(self):
+        node = parse_behaviour("a1; b2; exit")
+        assert not accepts(node, SEM, [prim("b", 2)])
+
+    def test_rejects_premature_delta(self):
+        node = parse_behaviour("a1; b2; exit")
+        assert not accepts(node, SEM, [prim("a", 1), DELTA])
+
+    def test_internal_steps_are_skipped(self):
+        node = parse_behaviour("i; a1; i; b2; exit")
+        assert accepts(node, SEM, [prim("a", 1), prim("b", 2)])
+
+    def test_nondeterministic_acceptance(self):
+        node = parse_behaviour("a1; b2; exit [] a1; c3; exit")
+        assert accepts(node, SEM, [prim("a", 1), prim("b", 2)])
+        assert accepts(node, SEM, [prim("a", 1), prim("c", 3)])
+
+
+class TestEnumeration:
+    def test_enumerates_all_prefixes(self):
+        traces = enumerate_weak_traces(parse_behaviour("a1; b2; exit"), SEM, 5)
+        rendered = {format_trace(t) for t in traces}
+        assert rendered == {
+            "<empty>",
+            "a1",
+            "a1 . b2",
+            "a1 . b2 . delta",
+        }
+
+    def test_depth_bound_respected(self):
+        traces = enumerate_weak_traces(parse_behaviour("a1; b2; exit"), SEM, 1)
+        assert max(len(t) for t in traces) == 1
+
+    def test_interleaving_traces(self):
+        traces = enumerate_weak_traces(
+            parse_behaviour("a1; exit ||| b2; exit"), SEM, 2
+        )
+        rendered = {format_trace(t) for t in traces}
+        assert "a1 . b2" in rendered and "b2 . a1" in rendered
+
+    def test_distinct_prefixes_to_same_class_both_counted(self):
+        # a;c [] b;c: after a or b the residual class is the same, yet
+        # both a.c and b.c must be enumerated.
+        traces = enumerate_weak_traces(
+            parse_behaviour("a1; c1; exit [] b1; c1; exit"), SEM, 2
+        )
+        rendered = {format_trace(t) for t in traces}
+        assert "a1 . c1" in rendered and "b1 . c1" in rendered
+
+
+class TestBoundedEquivalence:
+    def test_equivalent_modulo_internal(self):
+        eq, witness = weak_trace_equivalent(
+            parse_behaviour("a1; i; b2; exit"),
+            SEM,
+            parse_behaviour("a1; b2; exit"),
+            SEM,
+            depth=5,
+        )
+        assert eq and witness is None
+
+    def test_distinguishing_trace_is_minimal(self):
+        eq, witness = weak_trace_equivalent(
+            parse_behaviour("a1; b2; exit"),
+            SEM,
+            parse_behaviour("a1; c3; exit"),
+            SEM,
+            depth=5,
+        )
+        assert not eq
+        assert len(witness) == 2  # a1 then the divergence
+
+    def test_depth_limits_detection(self):
+        # Difference at depth 3 is invisible at depth 2.
+        left = parse_behaviour("a1; b2; c3; exit")
+        right = parse_behaviour("a1; b2; d3; exit")
+        eq, _ = weak_trace_equivalent(left, SEM, right, SEM, depth=2)
+        assert eq
+        eq, witness = weak_trace_equivalent(left, SEM, right, SEM, depth=3)
+        assert not eq
+
+    def test_delta_differences_detected(self):
+        eq, witness = weak_trace_equivalent(
+            parse_behaviour("a1; exit"), SEM, parse_behaviour("a1; stop"), SEM, 3
+        )
+        assert not eq
+        assert witness[-1] == DELTA
+
+    def test_recursion_bounded(self):
+        spec = parse("SPEC A WHERE PROC A = a1; A END ENDSPEC")
+        semantics, root = Semantics.of_specification(spec, bind_occurrences=False)
+        eq, _ = weak_trace_equivalent(root, semantics, root, semantics, depth=10)
+        assert eq
+
+
+class TestBoundedInclusion:
+    def test_subset_included(self):
+        small = parse_behaviour("a1; b2; exit")
+        big = parse_behaviour("a1; b2; exit [] a1; c3; exit")
+        ok, _ = weak_trace_included(small, SEM, big, SEM, depth=5)
+        assert ok
+
+    def test_superset_not_included(self):
+        small = parse_behaviour("a1; b2; exit")
+        big = parse_behaviour("a1; b2; exit [] a1; c3; exit")
+        ok, witness = weak_trace_included(big, SEM, small, SEM, depth=5)
+        assert not ok
+        assert format_trace(witness) == "a1 . c3"
+
+
+class TestHelpers:
+    def test_initial_class_includes_tau_reach(self):
+        node = parse_behaviour("i; a1; exit")
+        assert len(initial_class(node, SEM)) == 2
+
+    def test_observable_moves_merges_nondeterminism(self):
+        node = parse_behaviour("a1; b2; exit [] a1; c3; exit")
+        moves = observable_moves(initial_class(node, SEM), SEM)
+        assert set(map(str, moves)) == {"a1"}
+        (targets,) = moves.values()
+        assert len(targets) == 2
+
+    def test_format_trace(self):
+        assert format_trace([]) == "<empty>"
+        assert format_trace([prim("a", 1), DELTA]) == "a1 . delta"

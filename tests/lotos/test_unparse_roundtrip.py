@@ -1,0 +1,167 @@
+"""Unparser tests, including property-based parse/unparse round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lotos.events import (
+    ReceiveAction,
+    SendAction,
+    ServicePrimitive,
+    SyncMessage,
+)
+from repro.lotos.parser import parse, parse_behaviour
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Behaviour,
+    Choice,
+    DefBlock,
+    Disable,
+    Enable,
+    Exit,
+    Parallel,
+    ProcessDefinition,
+    ProcessRef,
+    Specification,
+    Stop,
+)
+from repro.lotos.unparse import unparse, unparse_behaviour
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a1; exit",
+            "a1; b2; exit",
+            "a1; exit [] b1; exit",
+            "a1; exit ||| b2; exit",
+            "a1; exit |[a1]| a1; exit",
+            "a1; exit || a1; exit",
+            "a1; exit >> b2; exit",
+            "a1; exit [> b1; exit",
+            "a1; B",
+            "s2(8); exit",
+            "r1(2); exit",
+        ],
+    )
+    def test_fixed_point(self, text):
+        """Unparsing is a fixed point: text -> AST -> same text modulo ws."""
+        node = parse_behaviour(text)
+        rendered = unparse_behaviour(node)
+        assert parse_behaviour(rendered) == node
+
+    def test_choice_under_prefix_is_parenthesized(self):
+        node = ActionPrefix(
+            ServicePrimitive("a", 1),
+            Choice(
+                ActionPrefix(ServicePrimitive("b", 1), Exit()),
+                ActionPrefix(ServicePrimitive("c", 1), Exit()),
+            ),
+        )
+        assert unparse_behaviour(node) == "a1; (b1; exit [] c1; exit)"
+
+    def test_minimal_parens_for_enable_of_parallel(self):
+        node = Enable(
+            Parallel(
+                ActionPrefix(ServicePrimitive("a", 1), Exit()),
+                ActionPrefix(ServicePrimitive("b", 2), Exit()),
+            ),
+            ActionPrefix(ServicePrimitive("c", 3), Exit()),
+        )
+        # ||| binds tighter than >>, so no parentheses are required.
+        assert unparse_behaviour(node) == "a1; exit ||| b2; exit >> c3; exit"
+        assert parse_behaviour(unparse_behaviour(node)) == node
+
+    def test_compact_message_rendering(self):
+        node = ActionPrefix(SendAction(dest=2, message=SyncMessage(8)), Exit())
+        assert unparse_behaviour(node) == "s2(8); exit"
+        assert unparse_behaviour(node, compact=False) == "s2(s,8); exit"
+
+    def test_concrete_occurrence_rendering(self):
+        node = ActionPrefix(
+            ReceiveAction(src=1, message=SyncMessage(8, occurrence=(3, 5))),
+            Exit(),
+        )
+        assert unparse_behaviour(node, compact=False) == "r1(<3.5>,8); exit"
+        assert parse_behaviour(unparse_behaviour(node, compact=False)) == node
+
+    def test_spec_round_trip(self):
+        spec = parse(
+            """SPEC S [> interrupt3; exit WHERE
+                 PROC S = (read1; push2; S >> pop2; write3; exit)
+                       [] (eof1; make3; exit) END
+               ENDSPEC"""
+        )
+        assert parse(unparse(spec)) == spec
+
+
+# ----------------------------------------------------------------------
+# Property-based round trips over random ASTs.
+# ----------------------------------------------------------------------
+primitives = st.builds(
+    ServicePrimitive,
+    name=st.sampled_from(["a", "b", "read", "push", "req"]),
+    place=st.integers(min_value=1, max_value=4),
+)
+messages = st.builds(
+    SyncMessage,
+    node=st.integers(min_value=0, max_value=30),
+    occurrence=st.one_of(
+        st.none(), st.tuples(), st.tuples(st.integers(1, 9), st.integers(1, 9))
+    ),
+    kind=st.sampled_from(["sync", "exec", "done"]),
+)
+events = st.one_of(
+    primitives,
+    st.builds(SendAction, dest=st.integers(1, 4), message=messages),
+    st.builds(ReceiveAction, src=st.integers(1, 4), message=messages),
+)
+
+leaves = st.one_of(
+    st.just(Exit()),
+    st.just(Stop()),
+    st.builds(ProcessRef, st.sampled_from(["A", "B", "Loop"])),
+)
+
+
+def composites(children: st.SearchStrategy) -> st.SearchStrategy:
+    return st.one_of(
+        st.builds(ActionPrefix, events, children),
+        st.builds(Choice, children, children),
+        st.builds(Enable, children, children),
+        st.builds(Disable, children, children),
+        st.builds(
+            Parallel,
+            children,
+            children,
+            st.frozensets(primitives, max_size=2),
+            st.booleans(),
+        ).filter(lambda p: not (p.sync_all and p.sync)),
+    )
+
+
+behaviours = st.recursive(leaves, composites, max_leaves=12)
+
+
+class TestPropertyRoundTrip:
+    @given(behaviours)
+    @settings(max_examples=300, deadline=None)
+    def test_parse_unparse_identity(self, node: Behaviour):
+        rendered = unparse_behaviour(node, compact=False)
+        assert parse_behaviour(rendered) == node
+
+    @given(behaviours, behaviours)
+    @settings(max_examples=100, deadline=None)
+    def test_spec_parse_unparse_identity(self, root, body):
+        spec = Specification(
+            DefBlock(root, (ProcessDefinition("A", DefBlock(body)),))
+        )
+        assert parse(unparse(spec, compact=False)) == spec
+
+    @given(behaviours)
+    @settings(max_examples=100, deadline=None)
+    def test_rendering_is_stable(self, node: Behaviour):
+        once = unparse_behaviour(node, compact=False)
+        twice = unparse_behaviour(parse_behaviour(once), compact=False)
+        assert once == twice

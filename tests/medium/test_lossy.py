@@ -1,0 +1,121 @@
+"""Lossy-medium and ARQ-sublayer unit tests (paper Section 6 extension)."""
+
+import pytest
+
+from repro.lotos.events import SyncMessage
+from repro.medium.lossy import ArqChannel, ArqMedium, LossyMedium
+
+M1 = SyncMessage(1)
+M2 = SyncMessage(2)
+
+
+class TestLossyMedium:
+    def test_behaves_like_fifo_when_no_loss_taken(self):
+        medium = LossyMedium().send(1, 2, M1).send(1, 2, M2)
+        assert medium.receivable(1, 2, M1)
+        assert not medium.receivable(1, 2, M2)
+        medium = medium.receive(1, 2, M1)
+        assert medium.receivable(1, 2, M2)
+
+    def test_loss_transition_per_message(self):
+        medium = LossyMedium(loss_budget=5).send(1, 2, M1).send(3, 2, M2)
+        drops = medium.internal_transitions()
+        assert len(drops) == 2
+        for _desc, new in drops:
+            assert new.in_flight == 1
+            assert new.loss_budget == 4
+
+    def test_budget_exhaustion_stops_losses(self):
+        medium = LossyMedium(loss_budget=1).send(1, 2, M1).send(1, 2, M2)
+        (_, after_one), *_ = medium.internal_transitions()
+        assert after_one.internal_transitions() == []
+
+    def test_zero_budget_is_reliable(self):
+        medium = LossyMedium(loss_budget=0).send(1, 2, M1)
+        assert medium.internal_transitions() == []
+
+
+class TestArqChannelMachine:
+    def drive(self, medium, steps=50, pick=0):
+        """Follow internal transitions (deterministically) to quiescence."""
+        for _ in range(steps):
+            transitions = medium.internal_transitions()
+            transitions = [t for t in transitions if not t[0].startswith("lose")]
+            if not transitions:
+                return medium
+            medium = transitions[pick % len(transitions)][1]
+        return medium
+
+    def test_delivery_without_loss(self):
+        medium = ArqMedium(loss_budget=0).send(1, 2, M1)
+        assert not medium.receivable(1, 2, M1)  # not delivered yet
+        medium = self.drive(medium)
+        assert medium.receivable(1, 2, M1)
+        medium = medium.receive(1, 2, M1)
+        assert medium.is_empty
+
+    def test_fifo_order_preserved_across_arq(self):
+        medium = ArqMedium(loss_budget=0).send(1, 2, M1).send(1, 2, M2)
+        medium = self.drive(medium)
+        assert medium.receivable(1, 2, M1)
+        assert not medium.receivable(1, 2, M2)
+        medium = medium.receive(1, 2, M1)
+        medium = self.drive(medium)
+        assert medium.receivable(1, 2, M2)
+
+    def test_data_loss_then_retransmission(self):
+        medium = ArqMedium(loss_budget=1).send(1, 2, M1)
+        # transmit
+        (desc, medium), = [
+            t for t in medium.internal_transitions() if t[0].startswith("transmit")
+        ]
+        # lose the datagram
+        (desc, medium), = [
+            t for t in medium.internal_transitions() if t[0].startswith("lose-data")
+        ]
+        # retransmit and deliver
+        medium = self.drive(medium)
+        assert medium.receivable(1, 2, M1)
+
+    def test_ack_loss_and_duplicate_suppression(self):
+        medium = ArqMedium(loss_budget=1).send(1, 2, M1)
+        (_, medium), = [
+            t for t in medium.internal_transitions() if t[0].startswith("transmit")
+        ]
+        (_, medium), = [
+            t for t in medium.internal_transitions() if t[0].startswith("deliver-data")
+        ]
+        # message delivered once; now lose the ack
+        (_, medium), = [
+            t for t in medium.internal_transitions() if t[0].startswith("lose-ack")
+        ]
+        # sender retransmits; receiver must NOT deliver a duplicate
+        medium = self.drive(medium)
+        assert medium.receivable(1, 2, M1)
+        medium = medium.receive(1, 2, M1)
+        medium = self.drive(medium)
+        assert not medium.receivable(1, 2, M1)
+        assert medium.is_empty
+
+    def test_channels_independent(self):
+        medium = ArqMedium(loss_budget=0).send(1, 2, M1).send(2, 1, M2)
+        medium = self.drive(medium)
+        assert medium.receivable(1, 2, M1)
+        assert medium.receivable(2, 1, M2)
+
+    def test_selective_discipline_on_delivered_buffer(self):
+        medium = ArqMedium(loss_budget=0, discipline="selective")
+        medium = medium.send(1, 2, M1).send(1, 2, M2)
+        medium = self.drive(medium)
+        assert medium.receivable(1, 2, M2)
+
+    def test_idle_channel_state_is_canonical(self):
+        fresh = ArqMedium(loss_budget=0)
+        used = fresh.send(1, 2, M1)
+        used = self.drive(used).receive(1, 2, M1)
+        used = self.drive(used)
+        assert used == fresh
+
+    def test_channel_idle_flag(self):
+        assert ArqChannel().idle
+        assert not ArqChannel(outbox=(M1,)).idle

@@ -1,0 +1,164 @@
+"""Property-based invariants of the media (perfect, lossy, ARQ)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lotos.events import SyncMessage
+from repro.medium.lossy import ArqMedium, LossyMedium
+from repro.medium.state import make_medium
+
+messages = st.builds(
+    SyncMessage,
+    node=st.integers(min_value=0, max_value=5),
+    occurrence=st.sampled_from([None, (), (1,), (2, 3)]),
+)
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["send", "receive"]),
+        st.integers(min_value=1, max_value=3),  # src
+        st.integers(min_value=1, max_value=3),  # dest
+        messages,
+    ),
+    max_size=30,
+)
+
+
+class TestPerfectMediumProperties:
+    @given(operations)
+    @settings(max_examples=120, deadline=None)
+    def test_fifo_preserves_per_channel_order(self, ops):
+        medium = make_medium(discipline="fifo")
+        sent = {}
+        received = {}
+        for kind, src, dest, message in ops:
+            if src == dest:
+                continue
+            if kind == "send":
+                medium = medium.send(src, dest, message)
+                sent.setdefault((src, dest), []).append(message)
+            else:
+                queue = medium.queue(src, dest)
+                if queue and medium.receivable(src, dest, queue[0]):
+                    medium = medium.receive(src, dest, queue[0])
+                    received.setdefault((src, dest), []).append(queue[0])
+        for key, messages_received in received.items():
+            # every received sequence is a prefix of the sent sequence
+            assert sent[key][: len(messages_received)] == messages_received
+
+    @given(operations)
+    @settings(max_examples=120, deadline=None)
+    def test_conservation(self, ops):
+        """in_flight == sends - receives, always >= 0."""
+        medium = make_medium(discipline="selective")
+        balance = 0
+        for kind, src, dest, message in ops:
+            if kind == "send":
+                medium = medium.send(src, dest, message)
+                balance += 1
+            elif medium.receivable(src, dest, message):
+                medium = medium.receive(src, dest, message)
+                balance -= 1
+        assert medium.in_flight == balance >= 0
+
+    @given(operations)
+    @settings(max_examples=60, deadline=None)
+    def test_snapshot_equality_is_content_equality(self, ops):
+        """Replaying the same operations yields equal snapshots."""
+        first = make_medium()
+        second = make_medium()
+        for kind, src, dest, message in ops:
+            if kind != "send":
+                continue
+            first = first.send(src, dest, message)
+            second = second.send(src, dest, message)
+        assert first == second and hash(first) == hash(second)
+
+
+class TestArqProperties:
+    @given(
+        st.lists(messages, min_size=1, max_size=6),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_reliable_in_order_delivery_under_loss(self, payload, budget, seed):
+        """Whatever the loss pattern, ARQ delivers everything in order."""
+        medium = ArqMedium(loss_budget=budget)
+        for message in payload:
+            medium = medium.send(1, 2, message)
+        rng = random.Random(seed)
+        received = []
+        for _ in range(600):
+            # consume whatever is deliverable first
+            while received != payload and medium.receivable(1, 2, payload[len(received)]):
+                medium = medium.receive(1, 2, payload[len(received)])
+                received.append(payload[len(received)])
+            transitions = medium.internal_transitions()
+            if not transitions:
+                break
+            _desc, medium = transitions[rng.randrange(len(transitions))]
+        # drain any remainder
+        while len(received) < len(payload) and medium.receivable(
+            1, 2, payload[len(received)]
+        ):
+            medium = medium.receive(1, 2, payload[len(received)])
+            received.append(payload[len(received)])
+            # progress the machinery deterministically between receives
+            for _ in range(40):
+                transitions = [
+                    t
+                    for t in medium.internal_transitions()
+                    if not t[0].startswith("lose")
+                ]
+                if not transitions:
+                    break
+                medium = transitions[0][1]
+        assert received == payload
+        assert medium.is_empty or medium.internal_transitions()
+
+    @given(st.lists(messages, min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_no_duplication_without_loss(self, payload):
+        medium = ArqMedium(loss_budget=0)
+        for message in payload:
+            medium = medium.send(1, 2, message)
+        delivered = []
+        for _ in range(200):
+            transitions = medium.internal_transitions()
+            if not transitions:
+                break
+            medium = transitions[0][1]
+            while medium.receivable(1, 2, medium._channel((1, 2)).delivered[0]) if medium._channel((1, 2)).delivered else False:
+                head = medium._channel((1, 2)).delivered[0]
+                medium = medium.receive(1, 2, head)
+                delivered.append(head)
+        assert delivered == payload
+        assert medium.is_empty
+
+
+class TestLossyProperties:
+    @given(st.lists(messages, min_size=1, max_size=8), st.integers(0, 5))
+    @settings(max_examples=80, deadline=None)
+    def test_loss_only_removes(self, payload, budget):
+        """A lossy medium never reorders or invents messages."""
+        medium = LossyMedium(loss_budget=budget)
+        for message in payload:
+            medium = medium.send(1, 2, message)
+        rng = random.Random(42)
+        # interleave drops and receives arbitrarily
+        received = []
+        for _ in range(60):
+            drops = medium.internal_transitions()
+            queue = medium.queue(1, 2)
+            if drops and rng.random() < 0.4:
+                _desc, medium = drops[rng.randrange(len(drops))]
+            elif queue:
+                medium = medium.receive(1, 2, queue[0])
+                received.append(queue[0])
+            else:
+                break
+        # received is a subsequence of payload, in order
+        iterator = iter(payload)
+        assert all(any(item == sent for sent in iterator) for item in received)

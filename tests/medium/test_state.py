@@ -1,0 +1,128 @@
+"""FIFO medium tests: queueing disciplines, capacity, immutability."""
+
+import pytest
+
+from repro.lotos.events import SyncMessage
+from repro.medium.state import MediumState, make_medium
+
+M1 = SyncMessage(1)
+M2 = SyncMessage(2)
+M3 = SyncMessage(3, (1,))
+
+
+class TestBasics:
+    def test_fresh_medium_is_empty(self):
+        medium = make_medium()
+        assert medium.is_empty
+        assert medium.in_flight == 0
+
+    def test_send_enqueues(self):
+        medium = make_medium().send(1, 2, M1)
+        assert not medium.is_empty
+        assert medium.queue(1, 2) == (M1,)
+        assert medium.in_flight == 1
+
+    def test_immutability(self):
+        original = make_medium()
+        original.send(1, 2, M1)
+        assert original.is_empty
+
+    def test_fifo_order_preserved(self):
+        medium = make_medium().send(1, 2, M1).send(1, 2, M2)
+        assert medium.queue(1, 2) == (M1, M2)
+
+    def test_channels_are_directional(self):
+        medium = make_medium().send(1, 2, M1)
+        assert medium.queue(2, 1) == ()
+
+    def test_iter_messages(self):
+        medium = make_medium().send(1, 2, M1).send(3, 1, M2)
+        assert sorted(medium.iter_messages()) == sorted(
+            [(1, 2, M1), (3, 1, M2)]
+        )
+
+    def test_hashable_and_canonical(self):
+        a = make_medium().send(1, 2, M1).send(3, 1, M2)
+        b = make_medium().send(3, 1, M2).send(1, 2, M1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ValueError):
+            MediumState(discipline="chaotic")
+
+
+class TestFifoDiscipline:
+    def test_head_only_receivable(self):
+        medium = make_medium(discipline="fifo").send(1, 2, M1).send(1, 2, M2)
+        assert medium.receivable(1, 2, M1)
+        assert not medium.receivable(1, 2, M2)
+
+    def test_receive_pops_head(self):
+        medium = make_medium(discipline="fifo").send(1, 2, M1).send(1, 2, M2)
+        medium = medium.receive(1, 2, M1)
+        assert medium.queue(1, 2) == (M2,)
+
+    def test_receive_non_head_raises(self):
+        medium = make_medium(discipline="fifo").send(1, 2, M1).send(1, 2, M2)
+        with pytest.raises(ValueError):
+            medium.receive(1, 2, M2)
+
+    def test_empty_channel_not_receivable(self):
+        assert not make_medium().receivable(1, 2, M1)
+
+
+class TestSelectiveDiscipline:
+    def test_any_position_receivable(self):
+        medium = (
+            make_medium(discipline="selective").send(1, 2, M1).send(1, 2, M2)
+        )
+        assert medium.receivable(1, 2, M1)
+        assert medium.receivable(1, 2, M2)
+
+    def test_receive_removes_first_match(self):
+        medium = (
+            make_medium(discipline="selective")
+            .send(1, 2, M1)
+            .send(1, 2, M2)
+            .send(1, 2, M1)
+        )
+        medium = medium.receive(1, 2, M2)
+        assert medium.queue(1, 2) == (M1, M1)
+
+    def test_occurrence_distinguishes_messages(self):
+        medium = make_medium(discipline="selective").send(1, 2, M3)
+        assert not medium.receivable(1, 2, SyncMessage(3, (2,)))
+        assert medium.receivable(1, 2, M3)
+
+    def test_missing_message_raises(self):
+        medium = make_medium(discipline="selective").send(1, 2, M1)
+        with pytest.raises(ValueError):
+            medium.receive(1, 2, M2)
+
+
+class TestCapacity:
+    def test_unbounded_by_default(self):
+        medium = make_medium()
+        for index in range(100):
+            medium = medium.send(1, 2, SyncMessage(index))
+        assert medium.in_flight == 100
+
+    def test_capacity_one(self):
+        medium = make_medium(capacity=1).send(1, 2, M1)
+        assert not medium.can_send(1, 2)
+        with pytest.raises(ValueError):
+            medium.send(1, 2, M2)
+
+    def test_capacity_is_per_channel(self):
+        medium = make_medium(capacity=1).send(1, 2, M1)
+        assert medium.can_send(1, 3)
+        assert medium.can_send(2, 1)
+
+    def test_capacity_frees_after_receive(self):
+        medium = make_medium(capacity=1).send(1, 2, M1).receive(1, 2, M1)
+        assert medium.can_send(1, 2)
+
+    def test_empty_queues_removed_from_snapshot(self):
+        medium = make_medium().send(1, 2, M1).receive(1, 2, M1)
+        assert medium == make_medium()

@@ -1,0 +1,76 @@
+"""Conformance-checker tests."""
+
+from repro.core.generator import derive_protocol
+from repro.lotos.events import ServicePrimitive
+from repro.runtime.conformance import check_run, check_trace
+from repro.runtime.executor import Run, random_run
+from repro.runtime.system import build_system
+
+SERVICE = "SPEC a1; exit >> b2; exit ENDSPEC"
+
+
+def prim(name, place):
+    return ServicePrimitive(name, place)
+
+
+class TestCheckTrace:
+    def test_valid_trace(self):
+        assert check_trace(SERVICE, [prim("a", 1), prim("b", 2)])
+
+    def test_valid_trace_with_termination(self):
+        assert check_trace(SERVICE, [prim("a", 1), prim("b", 2)], terminated=True)
+
+    def test_empty_trace_is_valid(self):
+        assert check_trace(SERVICE, [])
+
+    def test_misordered_trace_rejected(self):
+        verdict = check_trace(SERVICE, [prim("b", 2), prim("a", 1)])
+        assert not verdict
+        assert "refuses" in verdict.reason
+
+    def test_premature_termination_rejected(self):
+        verdict = check_trace(SERVICE, [prim("a", 1)], terminated=True)
+        assert not verdict
+
+    def test_foreign_event_rejected(self):
+        assert not check_trace(SERVICE, [prim("z", 9)])
+
+    def test_accepts_parsed_specification(self):
+        from repro.lotos.parser import parse
+
+        assert check_trace(parse(SERVICE), [prim("a", 1)])
+
+    def test_verdict_rendering(self):
+        good = check_trace(SERVICE, [prim("a", 1)])
+        bad = check_trace(SERVICE, [prim("b", 2)])
+        assert "conformant" in str(good)
+        assert "VIOLATION" in str(bad)
+
+
+class TestCheckRun:
+    def test_conformant_run(self):
+        result = derive_protocol(SERVICE)
+        system = build_system(result.entities)
+        run = random_run(system, seed=0)
+        assert check_run(SERVICE, run)
+
+    def test_deadlock_is_always_a_violation(self):
+        run = Run(trace=[prim("a", 1)], deadlocked=True)
+        verdict = check_run(SERVICE, run)
+        assert not verdict
+        assert "deadlock" in verdict.reason
+
+    def test_truncated_run_flagged_when_progress_required(self):
+        run = Run(trace=[prim("a", 1)], truncated=True)
+        assert not check_run(SERVICE, run, require_progress=True)
+        assert check_run(SERVICE, run, require_progress=False)
+
+    def test_naive_projection_caught(self):
+        result = derive_protocol(SERVICE, emit_sync=False)
+        system = build_system(result.entities)
+        violations = 0
+        for seed in range(20):
+            run = random_run(system, seed=seed)
+            if not check_run(SERVICE, run):
+                violations += 1
+        assert violations > 0

@@ -1,0 +1,78 @@
+"""Message-sequence-chart rendering tests."""
+
+import pytest
+
+from repro.core.generator import derive_protocol
+from repro.runtime.msc import record_schedule
+from repro.runtime.system import build_system
+
+
+@pytest.fixture()
+def pipeline_system():
+    result = derive_protocol("SPEC a1; b2; c3; exit ENDSPEC")
+    return build_system(result.entities, hide=False)
+
+
+class TestRecording:
+    def test_requires_visible_messages(self):
+        result = derive_protocol("SPEC a1; b2; exit ENDSPEC")
+        hidden = build_system(result.entities, hide=True)
+        with pytest.raises(ValueError, match="hide=False"):
+            record_schedule(hidden)
+
+    def test_event_kinds(self, pipeline_system):
+        chart = record_schedule(pipeline_system, seed=0)
+        kinds = [event.kind for event in chart.events]
+        assert kinds.count("primitive") == 3
+        assert kinds.count("send") == 2
+        assert kinds.count("receive") == 2
+        assert kinds[-1] == "delta"
+
+    def test_send_precedes_matching_receive(self, pipeline_system):
+        chart = record_schedule(pipeline_system, seed=3)
+        sends = {}
+        for position, event in enumerate(chart.events):
+            if event.kind == "send":
+                sends[event.label.message] = position
+            elif event.kind == "receive":
+                assert sends[event.label.message] < position
+
+    def test_deterministic_per_seed(self, pipeline_system):
+        first = record_schedule(pipeline_system, seed=7)
+        second = record_schedule(pipeline_system, seed=7)
+        assert first.render() == second.render()
+
+
+class TestRendering:
+    def test_header_names_all_places(self, pipeline_system):
+        text = record_schedule(pipeline_system, seed=0).render()
+        header = text.splitlines()[0]
+        for place in (1, 2, 3):
+            assert str(place) in header
+
+    def test_primitives_appear_on_their_lifeline(self, pipeline_system):
+        text = record_schedule(pipeline_system, seed=0).render()
+        assert "a1" in text and "b2" in text and "c3" in text
+
+    def test_messages_identified(self, pipeline_system):
+        text = record_schedule(pipeline_system, seed=0).render()
+        assert "send s^1_2(" in text
+        assert "recv r^2_1(" in text
+
+    def test_termination_row(self, pipeline_system):
+        text = record_schedule(pipeline_system, seed=0).render()
+        assert "terminated" in text
+
+    def test_example3_msc_renders(self):
+        from repro import workloads
+
+        result = derive_protocol(workloads.EXAMPLE3_FILE_TRANSFER)
+        system = build_system(
+            result.entities,
+            hide=False,
+            discipline="selective",
+            require_empty_at_exit=False,
+        )
+        chart = record_schedule(system, seed=1, max_steps=200)
+        assert chart.events
+        assert chart.render()

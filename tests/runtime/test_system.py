@@ -1,0 +1,146 @@
+"""Distributed-system composition tests."""
+
+import pytest
+
+from repro.core.generator import derive_protocol
+from repro.lotos.events import (
+    Delta,
+    InternalAction,
+    ReceiveAction,
+    SendAction,
+    ServicePrimitive,
+)
+from repro.runtime.system import build_system
+
+
+def transitions_by_label(system, state=None):
+    state = state if state is not None else system.initial
+    result = {}
+    for label, target in system.transitions(state):
+        result.setdefault(str(label), []).append(target)
+    return result
+
+
+class TestComposition:
+    def test_initial_moves_of_sequence(self, example4):
+        system = build_system(example4.entities)
+        moves = transitions_by_label(system)
+        assert set(moves) == {"a1"}  # b2 must wait for the message
+
+    def _walk_first(self, system, max_steps=20):
+        """Follow the first enabled transition; return the label path."""
+        labels = []
+        state = system.initial
+        for _ in range(max_steps):
+            transitions = system.transitions(state)
+            if not transitions:
+                break
+            label, state = transitions[0]
+            labels.append(label)
+        return labels, state
+
+    def test_message_flow(self, example4):
+        system = build_system(example4.entities, hide=False)
+        labels, final = self._walk_first(system)
+        rendered = [str(label) for label in labels]
+        # a1, then the message transfer, then b2, then termination —
+        # with internal (vacuous-exit) steps interspersed.
+        observable = [text for text in rendered if text != "i"]
+        assert observable[0] == "a1"
+        assert any(isinstance(l, SendAction) for l in labels)
+        assert any(isinstance(l, ReceiveAction) for l in labels)
+        send_at = next(i for i, l in enumerate(labels) if isinstance(l, SendAction))
+        receive_at = next(
+            i for i, l in enumerate(labels) if isinstance(l, ReceiveAction)
+        )
+        b2_at = rendered.index("b2")
+        assert rendered.index("a1") < send_at < receive_at < b2_at
+
+    def test_global_delta_requires_all_entities(self, example4):
+        system = build_system(example4.entities)
+        labels, final = self._walk_first(system)
+        assert isinstance(labels[-1], Delta)
+        assert system.is_terminated(final)
+        assert not system.transitions(final)
+        # delta never appears before b2:
+        rendered = [str(label) for label in labels]
+        assert rendered.index("b2") < rendered.index("delta")
+
+    def test_unhidden_messages_visible(self, example4):
+        system = build_system(example4.entities, hide=False)
+        labels, _ = self._walk_first(system)
+        send = next(l for l in labels if isinstance(l, SendAction))
+        receive = next(l for l in labels if isinstance(l, ReceiveAction))
+        assert send.src == 1 and send.dest == 2
+        assert receive.dest == 2 and receive.src == 1
+        assert send.message == receive.message
+
+    def test_capacity_one_blocks_second_send(self):
+        # place 1 broadcasts two messages to 2 and 3 plus... craft a
+        # service where one entity sends twice to the same peer quickly.
+        result = derive_protocol("SPEC a1; b2; c1; d2; exit ENDSPEC")
+        system = build_system(result.entities, capacity=1)
+        # run to completion; capacity 1 must not deadlock this pipeline
+        from repro.runtime.executor import random_run
+
+        run = random_run(system, seed=0)
+        assert run.terminated and not run.deadlocked
+
+    def test_require_empty_at_exit_blocks_stale_messages(self):
+        # Construct a system state artificially by disabling the flag and
+        # checking termination is gated.
+        result = derive_protocol("SPEC a1; exit >> b2; exit ENDSPEC")
+        system = build_system(result.entities, require_empty_at_exit=True)
+        # walk: a1 . send . receive . b2 . delta — the delta appears only
+        # after the receive drained the channel, which the previous tests
+        # already verify; here check the negative: with a pending message
+        # delta must not be offered.  (Reach the state after 'send'.)
+        state = system.initial
+        (state,) = transitions_by_label(system, state)["a1"]
+        (state,) = transitions_by_label(system, state)["i"]
+        assert "delta" not in transitions_by_label(system, state)
+
+    def test_mismatched_entities_rejected(self):
+        from repro.errors import ExecutionError
+        from repro.runtime.system import DistributedSystem, SystemState
+        from repro.medium.state import make_medium
+        from repro.lotos.semantics import Semantics
+        from repro.lotos.syntax import Exit
+
+        with pytest.raises(ExecutionError):
+            DistributedSystem(
+                places=[1, 2],
+                semantics=[Semantics()],
+                initial=SystemState((Exit(),), make_medium()),
+            )
+
+
+class TestOccurrences:
+    def test_occurrence_free_mode_is_finite_for_tail_recursion(self):
+        result = derive_protocol(
+            "SPEC A WHERE PROC A = a1; b2; A [] c1; exit END ENDSPEC"
+        )
+        from repro.lotos.lts import build_lts
+
+        system = build_system(result.entities, use_occurrences=False)
+        lts = build_lts(system.initial, system, max_states=5_000)
+        assert lts.complete
+
+    def test_occurrence_mode_distinguishes_instances(self, example7):
+        # With occurrences, the messages of the two B instances differ.
+        system = build_system(example7.entities, hide=False)
+        seen_occurrences = set()
+        frontier = [system.initial]
+        visited = set()
+        for _ in range(2_000):
+            if not frontier:
+                break
+            state = frontier.pop()
+            if state in visited:
+                continue
+            visited.add(state)
+            for label, target in system.transitions(state):
+                if isinstance(label, SendAction):
+                    seen_occurrences.add(label.message.occurrence)
+                frontier.append(target)
+        assert len(seen_occurrences) > 1

@@ -1,0 +1,188 @@
+"""Edge-case tests across modules: error paths, rendering corners,
+budget guards, and API conveniences not covered elsewhere."""
+
+import pytest
+
+from repro import derive_protocol
+from repro.errors import (
+    DerivationError,
+    LexerError,
+    ParseError,
+    ReproError,
+    RestrictionViolation,
+    SemanticsError,
+    StateSpaceLimitExceeded,
+    UnboundProcessError,
+    UnguardedRecursionError,
+    VerificationError,
+)
+from repro.lotos.events import (
+    DELTA,
+    INTERNAL,
+    ReceiveAction,
+    SendAction,
+    ServicePrimitive,
+    SyncMessage,
+)
+from repro.lotos.parser import parse, parse_behaviour
+from repro.lotos.semantics import Semantics
+from repro.lotos.lts import build_lts
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            LexerError,
+            ParseError,
+            SemanticsError,
+            UnboundProcessError,
+            UnguardedRecursionError,
+            RestrictionViolation,
+            DerivationError,
+            VerificationError,
+            StateSpaceLimitExceeded,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_lexer_error_carries_position(self):
+        error = LexerError("bad", 3, 7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+    def test_restriction_violation_carries_rule(self):
+        error = RestrictionViolation("R2", "details")
+        assert error.rule == "R2"
+
+    def test_state_space_limit_carries_budget(self):
+        assert StateSpaceLimitExceeded(500).limit == 500
+
+
+class TestLabelOrdering:
+    def test_sort_keys_are_total_over_mixed_labels(self):
+        labels = [
+            DELTA,
+            INTERNAL,
+            ServicePrimitive("b", 2),
+            ServicePrimitive("a", 1),
+            SendAction(dest=2, message=SyncMessage(3)),
+            ReceiveAction(src=1, message=SyncMessage(3)),
+            SendAction(dest=2, message=SyncMessage(3, (1,), "exec")),
+        ]
+        ordered = sorted(labels, key=lambda label: label.sort_key())
+        assert ordered[0] == ServicePrimitive("a", 1)
+        assert ordered[-1] == DELTA
+
+
+class TestTraceBudgets:
+    def test_enumeration_guard_trips(self):
+        from repro.lotos.traces import enumerate_weak_traces
+
+        # wide choice tree -> trace explosion
+        wide = parse_behaviour(
+            " ||| ".join(f"x{place}; exit" for place in [1, 2, 3, 1, 2, 3])
+        )
+        with pytest.raises(RuntimeError, match="traces"):
+            enumerate_weak_traces(wide, Semantics(), max_length=6, max_traces=20)
+
+
+class TestEquivalencePreconditions:
+    def test_truncated_lts_rejected(self):
+        from repro.lotos.equivalence import weak_bisimilar
+
+        spec = parse("SPEC A WHERE PROC A = a1; A END ENDSPEC")
+        semantics, root = Semantics.of_specification(spec, bind_occurrences=True)
+        truncated = build_lts(root, semantics, max_states=5, on_limit="truncate")
+        complete = build_lts(parse_behaviour("a1; exit"), Semantics())
+        with pytest.raises(VerificationError, match="truncated"):
+            weak_bisimilar(truncated, complete)
+
+
+class TestRenderingCorners:
+    def test_entity_text_full_messages(self):
+        result = derive_protocol("SPEC a1; b2; exit ENDSPEC")
+        assert "s2(s,1)" in result.entity_text(1, compact=False)
+
+    def test_describe_lists_all_places(self):
+        result = derive_protocol("SPEC a1; b2; c3; exit ENDSPEC")
+        text = result.describe()
+        assert text.count("Protocol entity for place") == 3
+
+    def test_message_kind_rendering_compact(self):
+        assert SyncMessage(4, (), "exec").render(compact=True) == "exec,4"
+        assert SyncMessage(4, ()).render(compact=True) == "4"
+
+    def test_hide_with_gates_round_trips(self):
+        from repro.lotos.unparse import unparse_behaviour
+
+        node = parse_behaviour("hide a1, b2 in a1; b2; exit")
+        assert parse_behaviour(unparse_behaviour(node)) == node
+
+    def test_empty_renders(self):
+        from repro.lotos.syntax import Empty
+        from repro.lotos.unparse import unparse_behaviour
+
+        assert unparse_behaviour(Empty()) == "empty"
+
+
+class TestSemanticsGuards:
+    def test_unfold_depth_guard_message(self):
+        spec = parse("SPEC A WHERE PROC A = A END ENDSPEC")
+        semantics, root = Semantics.of_specification(spec)
+        with pytest.raises(UnguardedRecursionError, match="unguarded"):
+            semantics.transitions(root)
+
+    def test_deeply_guarded_nesting_is_fine(self):
+        # 100 mutually-referencing processes, each guarded.
+        definitions = " ".join(
+            f"PROC P{index} = a1; P{index + 1} END" for index in range(100)
+        )
+        spec = parse(
+            f"SPEC P0 WHERE {definitions} PROC P100 = b2; exit END ENDSPEC"
+        )
+        semantics, root = Semantics.of_specification(spec)
+        ((label, _),) = semantics.transitions(root)
+        assert str(label) == "a1"
+
+
+class TestRunRendering:
+    def test_deadlocked_run_string(self):
+        from repro.runtime.executor import Run
+
+        run = Run(deadlocked=True, steps=4)
+        assert "DEADLOCK" in str(run)
+
+    def test_truncated_run_string(self):
+        from repro.runtime.executor import Run
+
+        run = Run(truncated=True)
+        assert "truncated" in str(run)
+
+
+class TestDerivationResultAccess:
+    def test_violations_preserved_in_lenient_mode(self):
+        result = derive_protocol(
+            "SPEC a1; b2; exit [] c2; d2; exit ENDSPEC", strict=False
+        )
+        assert any(v.rule == "R1" for v in result.violations)
+
+    def test_service_field_is_the_original(self):
+        text = "SPEC a1; b2; exit ENDSPEC"
+        result = derive_protocol(text)
+        assert result.service == parse(text)
+
+
+class TestWorkloadCatalogue:
+    def test_canonical_texts_parse(self):
+        from repro import workloads
+
+        for text in (
+            workloads.EXAMPLE2_COUNTING,
+            workloads.EXAMPLE3_FILE_TRANSFER,
+            workloads.EXAMPLE4_SEQUENCE,
+            workloads.EXAMPLE7_TWO_INSTANCES,
+            workloads.TRANSPORT_SESSION,
+        ):
+            assert parse(text) is not None

@@ -1,0 +1,109 @@
+"""Term-level Section 5.2 composition tests.
+
+The literal LOTOS term ``hide G in ((T1 ||| ... ||| Tn) |[G]| Medium)``
+with capacity-1 Channel processes must agree with (a) the service and
+(b) the queue-based runtime composition — two independent
+implementations cross-checking each other.
+"""
+
+import pytest
+
+from repro.core.generator import derive_protocol
+from repro.errors import VerificationError
+from repro.lotos.equivalence import observationally_congruent, weak_bisimilar
+from repro.lotos.lts import build_lts
+from repro.lotos.semantics import Semantics
+from repro.lotos.events import ReceiveAction, SendAction
+from repro.runtime.system import build_system
+from repro.verification.composition import (
+    annotate_entity,
+    compose_term,
+    message_alphabet,
+)
+
+FINITE_SERVICES = [
+    "SPEC a1; b2; exit ENDSPEC",
+    "SPEC a1; exit >> b2; exit ENDSPEC",
+    "SPEC (a1; b2; exit) [] (c1; d2; exit) ENDSPEC",
+    "SPEC (a1; exit ||| b2; exit) >> c3; exit ENDSPEC",
+    "SPEC (a1; b2; B) >> d3; exit WHERE PROC B = e2; exit END ENDSPEC",
+]
+
+
+class TestAnnotate:
+    def test_sends_get_source(self):
+        result = derive_protocol("SPEC a1; b2; exit ENDSPEC")
+        annotated = annotate_entity(result.entity(1).behaviour, 1)
+        sends = [
+            node.event
+            for node in annotated.walk()
+            if hasattr(node, "event") and isinstance(node.event, SendAction)
+        ]
+        assert sends and all(event.src == 1 for event in sends)
+
+    def test_receives_get_destination(self):
+        result = derive_protocol("SPEC a1; b2; exit ENDSPEC")
+        annotated = annotate_entity(result.entity(2).behaviour, 2)
+        receives = [
+            node.event
+            for node in annotated.walk()
+            if hasattr(node, "event") and isinstance(node.event, ReceiveAction)
+        ]
+        assert receives and all(event.dest == 2 for event in receives)
+
+
+class TestMessageAlphabet:
+    def test_alphabet_of_sequence(self):
+        result = derive_protocol("SPEC a1; b2; c3; exit ENDSPEC")
+        _, alphabet = message_alphabet(result.entities)
+        pairs = {(src, dest) for src, dest, _ in alphabet}
+        assert pairs == {(1, 2), (2, 3)}
+
+    def test_process_invocations_are_inlined(self):
+        result = derive_protocol(
+            "SPEC (a1; b2; B) >> d3; exit WHERE PROC B = e2; exit END ENDSPEC"
+        )
+        closed, alphabet = message_alphabet(result.entities)
+        from repro.lotos.syntax import ProcessRef
+
+        for term in closed.values():
+            assert not any(isinstance(n, ProcessRef) for n in term.walk())
+
+    def test_recursive_entities_rejected(self, example2):
+        with pytest.raises(VerificationError, match="recursive"):
+            message_alphabet(example2.entities)
+
+
+class TestTermComposition:
+    @pytest.mark.parametrize("service", FINITE_SERVICES)
+    def test_term_equals_service(self, service):
+        result = derive_protocol(service)
+        term, environment, gates = compose_term(result.entities)
+        term_lts = build_lts(
+            term, Semantics(environment, bind_occurrences=False), max_states=60_000
+        )
+        service_semantics, service_root = Semantics.of_specification(
+            result.prepared, bind_occurrences=False
+        )
+        service_lts = build_lts(service_root, service_semantics)
+        assert weak_bisimilar(service_lts, term_lts)
+        assert observationally_congruent(service_lts, term_lts)
+
+    @pytest.mark.parametrize("service", FINITE_SERVICES[:3])
+    def test_term_equals_runtime_composition(self, service):
+        """The two composition implementations agree (capacity 1)."""
+        result = derive_protocol(service)
+        term, environment, gates = compose_term(result.entities)
+        term_lts = build_lts(
+            term, Semantics(environment, bind_occurrences=False), max_states=60_000
+        )
+        system = build_system(result.entities, capacity=1, discipline="fifo")
+        system_lts = build_lts(system.initial, system, max_states=60_000)
+        assert weak_bisimilar(term_lts, system_lts)
+
+    def test_gate_set_is_closed(self):
+        result = derive_protocol("SPEC a1; b2; c3; exit ENDSPEC")
+        _, _, gates = compose_term(result.entities)
+        sends = {g for g in gates if isinstance(g, SendAction)}
+        receives = {g for g in gates if isinstance(g, ReceiveAction)}
+        assert len(sends) == len(receives) == 2

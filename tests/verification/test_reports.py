@@ -1,0 +1,94 @@
+"""Verification-report API tests: rendering, truthiness, safety path."""
+
+import pytest
+
+from repro.core.generator import derive_protocol
+from repro.verification.checker import (
+    VerificationReport,
+    safety_report,
+    verify_derivation,
+)
+
+
+class TestReportApi:
+    def test_bool_follows_equivalent(self):
+        assert bool(
+            VerificationReport(method="weak-bisimulation", equivalent=True)
+        )
+        assert not bool(
+            VerificationReport(method="bounded-traces", equivalent=False)
+        )
+
+    def test_str_mentions_verdict_and_method(self):
+        report = VerificationReport(
+            method="weak-bisimulation",
+            equivalent=True,
+            congruent=True,
+            service_states=5,
+            system_states=9,
+        )
+        text = str(report)
+        assert "EQUIVALENT" in text
+        assert "weak-bisimulation" in text
+        assert "service=5" in text
+
+    def test_counterexample_rendered(self):
+        from repro.lotos.events import ServicePrimitive
+
+        report = VerificationReport(
+            method="bounded-traces",
+            equivalent=False,
+            counterexample=(ServicePrimitive("b", 2),),
+        )
+        assert "counterexample: b2" in str(report)
+
+    def test_notes_rendered(self):
+        report = VerificationReport(
+            method="bounded-traces", equivalent=True, notes=["a note"]
+        )
+        assert "a note" in str(report)
+
+
+class TestSafetyPath:
+    def test_conforming_protocol_is_safe(self):
+        report = safety_report("SPEC a1; b2; c3; exit ENDSPEC", trace_depth=5)
+        assert report.equivalent
+        assert report.method == "bounded-trace-inclusion"
+
+    def test_safety_accepts_derivation_result(self):
+        result = derive_protocol("SPEC a1; b2; exit ENDSPEC")
+        assert safety_report(result, trace_depth=4).equivalent
+
+    def test_has_disable_flag(self):
+        report = verify_derivation(
+            "SPEC a1; b2; exit [> d2; exit ENDSPEC", trace_depth=4
+        )
+        assert report.has_disable
+
+    def test_disable_free_flag(self):
+        report = verify_derivation("SPEC a1; b2; exit ENDSPEC")
+        assert not report.has_disable
+
+
+class TestCheckerOptions:
+    def test_exact_state_limit_forces_bounded(self):
+        report = verify_derivation(
+            "SPEC (a1; exit ||| b2; exit) >> c3; exit ENDSPEC",
+            exact_state_limit=3,
+            trace_depth=5,
+        )
+        assert report.method == "bounded-traces"
+        assert report.equivalent
+
+    def test_trace_depth_recorded(self):
+        report = verify_derivation(
+            "SPEC A WHERE PROC A = a1; b2; A [] c1; exit END ENDSPEC",
+            trace_depth=5,
+        )
+        assert report.trace_depth == 5
+
+    def test_capacity_one_matches_proof_assumption(self):
+        report = verify_derivation(
+            "SPEC a1; b2; c3; exit ENDSPEC", capacity=1
+        )
+        assert report.equivalent and report.congruent
