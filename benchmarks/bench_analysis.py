@@ -1,14 +1,18 @@
-"""E14 — reachability analysis throughput.
+"""E14 — reachability analysis throughput; E18 — lint throughput.
 
 Times the full design-error audit (deadlocks, blocked receptions, dead
-code) over composed systems of growing size.
+code) over composed systems of growing size, and the static-analysis
+front end (``repro lint``: all rules plus the restriction passthrough)
+over the largest generated service specifications.
 """
 
 import pytest
 
 from repro import workloads
 from repro.analysis import analyze_protocol
+from repro.analysis.lint import lint_spec, lint_text
 from repro.core.generator import derive_protocol
+from repro.lotos.unparse import unparse
 
 
 @pytest.mark.parametrize("places", [3, 4, 5])
@@ -22,6 +26,30 @@ def test_analyze_pipeline(benchmark, places):
 
     report = benchmark(run)
     print(f"\n[analysis n={places}] states={report.states_explored}")
+
+
+@pytest.mark.parametrize("places", [4, 6, 8])
+def test_lint_pipeline(benchmark, places):
+    """Lint a parsed pipeline spec of growing width (all rules)."""
+    spec = workloads.pipeline(places, rounds=4)
+
+    def run():
+        return lint_spec(spec)
+
+    result = benchmark(run)
+    assert result.ok
+    print(f"\n[lint n={places}] diagnostics={len(result)}")
+
+
+def test_lint_text_largest_chain(benchmark):
+    """End-to-end text lint (parse + rules) on the largest workload."""
+    text = unparse(workloads.process_chain(12, places=3))
+
+    def run():
+        return lint_text(text, source="process_chain_12")
+
+    result = benchmark(run)
+    assert result.ok
 
 
 def test_analyze_example3(benchmark, example3_result):

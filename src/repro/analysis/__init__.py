@@ -10,9 +10,13 @@ so the synthesis results can be audited with the very techniques the
 paper says synthesis renders unnecessary — a useful cross-examination:
 correctly derived protocols come back clean, the baselines do not.
 
-Service satisfaction itself lives in :mod:`repro.verification`.
+Service satisfaction itself lives in :mod:`repro.verification`; the
+*front-end* static analysis of service specifications (lint rules over
+the AST with source-located diagnostics) lives in
+:mod:`repro.analysis.lint`.
 """
 
+from repro.analysis.lint import Diagnostic, LintResult, lint_spec, lint_text
 from repro.analysis.protocol_checks import (
     AnalysisReport,
     BlockedReception,
@@ -26,7 +30,11 @@ __all__ = [
     "AnalysisReport",
     "BlockedReception",
     "DeadlockReport",
+    "Diagnostic",
+    "LintResult",
     "analyze_protocol",
     "analyze_system",
     "entity_automaton",
+    "lint_spec",
+    "lint_text",
 ]

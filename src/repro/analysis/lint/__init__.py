@@ -1,0 +1,45 @@
+"""Source-located static analysis for service specifications.
+
+The paper's Protocol Generator "checks the syntax of the given service
+specification and its conformance to the restrictions R1, R2 and R3";
+this package is that front end grown into a proper static-analysis
+framework: a registry of lint rules over the LOTOS AST, a unified
+:class:`Diagnostic` model (stable rule id, severity, message, source
+span, fix hint), and renderers for text and machine-readable JSON.
+Besides the R1-R3/grammar admissibility errors, the rules catch spec
+defects that are *legal* but produce bad protocols — dead process
+definitions, unguarded recursion, rendezvous that can never fire,
+constructs whose derivation broadcasts needless synchronization
+messages.
+
+Entry points: :func:`lint_text` / :func:`lint_spec`; the ``repro lint``
+CLI subcommand wraps them.  See ``docs/lint.md`` for the rule catalogue
+and the JSON schema.
+"""
+
+from repro.analysis.lint.diagnostics import (
+    ERROR,
+    INFO,
+    JSON_SCHEMA_VERSION,
+    SEVERITIES,
+    WARNING,
+    Diagnostic,
+    LintResult,
+)
+from repro.analysis.lint.engine import lint_spec, lint_text
+from repro.analysis.lint.registry import RULES, LintContext, LintRule
+
+__all__ = [
+    "Diagnostic",
+    "LintResult",
+    "LintContext",
+    "LintRule",
+    "RULES",
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+    "JSON_SCHEMA_VERSION",
+    "lint_spec",
+    "lint_text",
+]

@@ -1,0 +1,150 @@
+"""The unified diagnostic model of the lint framework.
+
+Every front-end finding — lint rules, restriction violations, parse
+failures — is reported as a :class:`Diagnostic`: a stable rule id, a
+severity, a human message, an optional source :class:`Span` and an
+optional fix hint.  A :class:`LintResult` bundles the diagnostics of one
+source together with the renderers the CLI uses (GCC-style text and a
+versioned JSON document).
+
+The JSON schema (``--format json``, documented in ``docs/lint.md``)::
+
+    {
+      "version": 1,
+      "source": "<path or '<stdin>'>",
+      "summary": {"errors": 0, "warnings": 2, "infos": 1},
+      "diagnostics": [
+        {
+          "rule": "L001",
+          "name": "unused-process",
+          "severity": "warning",
+          "message": "...",
+          "line": 3, "column": 8,
+          "end_line": 3, "end_column": 9,
+          "hint": "..." | null
+        }
+      ]
+    }
+
+``line``/``column`` are 1-based and ``null`` when the finding has no
+source anchor (e.g. it concerns the specification as a whole).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lotos.location import Span
+
+#: Diagnostic severities, most severe first.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+SEVERITIES = (ERROR, WARNING, INFO)
+
+#: Version of the JSON output schema; bump on incompatible change.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static-analysis front end."""
+
+    rule: str
+    name: str
+    severity: str
+    message: str
+    span: Optional[Span] = None
+    hint: Optional[str] = None
+
+    def format(self, source: str = "<input>") -> str:
+        """GCC-style one-liner: ``source:line:col: severity: message [rule]``."""
+        where = f"{source}:{self.span}" if self.span else source
+        text = f"{where}: {self.severity}: {self.message} [{self.rule}]"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": self.severity,
+            "message": self.message,
+            "line": self.span.line if self.span else None,
+            "column": self.span.column if self.span else None,
+            "end_line": self.span.end_line if self.span else None,
+            "end_column": self.span.end_column if self.span else None,
+            "hint": self.hint,
+        }
+
+    def sort_key(self) -> Tuple:
+        span = self.span
+        return (
+            span is None,
+            span.line if span else 0,
+            span.column if span else 0,
+            self.rule,
+            self.message,
+        )
+
+
+@dataclass
+class LintResult:
+    """All diagnostics of one linted source, ready for rendering."""
+
+    source: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def by_severity(self, severity: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings and infos are allowed)."""
+        return not self.errors
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "errors": len(self.by_severity(ERROR)),
+            "warnings": len(self.by_severity(WARNING)),
+            "infos": len(self.by_severity(INFO)),
+        }
+
+    def render_text(self) -> str:
+        """The text report: one block per diagnostic plus a tally line."""
+        lines = [d.format(self.source) for d in self.diagnostics]
+        counts = self.summary()
+        lines.append(
+            f"{self.source}: {counts['errors']} error(s), "
+            f"{counts['warnings']} warning(s), {counts['infos']} info(s)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "source": self.source,
+            "summary": self.summary(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)

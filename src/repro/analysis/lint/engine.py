@@ -1,0 +1,169 @@
+"""Lint orchestration: parse, prepare, run every rule, collect.
+
+The engine is the single entry point of the framework::
+
+    from repro.analysis.lint import lint_text
+    result = lint_text(open("service.lotos").read(), source="service.lotos")
+    print(result.render_text())        # or result.render_json()
+
+It never raises on bad input: lexer/parser failures and preparation
+failures (unbound processes, attribute evaluation errors) are themselves
+reported as diagnostics (rules ``E001``/``E002``), so callers get one
+uniform stream of findings whatever the input looks like.
+
+Besides the registered L-rules, the engine re-emits the classic
+admissibility checks of :mod:`repro.core.restrictions` (R1, R2, R3 and
+the grammar conditions) through the same :class:`Diagnostic` model, with
+the source spans the checker now carries.  GUARD and APF violations are
+skipped here — lint rules L007 and L011 report the same defects with
+better locations and hints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.lint import rules as _rules  # noqa: F401  (registers rules)
+from repro.analysis.lint.diagnostics import (
+    ERROR,
+    Diagnostic,
+    LintResult,
+)
+from repro.analysis.lint.registry import RULES, LintContext
+from repro.core.attributes import AttributeTable, evaluate_attributes, number_nodes
+from repro.core.restrictions import Violation, check_service
+from repro.errors import LexerError, ParseError
+from repro.lotos.location import Span
+from repro.lotos.parser import parse
+from repro.lotos.scope import flatten_spec
+from repro.lotos.syntax import Choice, Specification
+
+#: Restriction rules reported 1:1 through the diagnostic model.
+_RESTRICTION_NAMES = {
+    "R1": "restriction-r1",
+    "R2": "restriction-r2",
+    "R3": "restriction-r3",
+    "GRAMMAR": "service-grammar",
+}
+
+#: Restriction rules superseded by a lint rule with better spans/hints.
+_SUPERSEDED = {"GUARD", "APF"}
+
+
+def lint_text(
+    text: str, source: str = "<input>", mixed_choice: bool = False
+) -> LintResult:
+    """Lint raw specification text; never raises."""
+    try:
+        spec = parse(text)
+    except (LexerError, ParseError) as exc:
+        span = None
+        if getattr(exc, "line", 0):
+            span = Span(exc.line, exc.column)
+        diagnostic = Diagnostic(
+            rule="E001",
+            name="parse-error",
+            severity=ERROR,
+            message=str(exc),
+            span=span,
+        )
+        return LintResult(source, [diagnostic])
+    return lint_spec(spec, source=source, mixed_choice=mixed_choice)
+
+
+def lint_spec(
+    spec: Specification, source: str = "<spec>", mixed_choice: bool = False
+) -> LintResult:
+    """Lint a parsed specification; never raises.
+
+    With ``mixed_choice`` the specification is judged as a
+    ``--mixed-choice`` derivation input: R1 violations that the arbiter
+    protocol resolves (and the companion L009 warning) are not reported.
+    """
+    diagnostics: List[Diagnostic] = []
+    prepared, attrs, failure = _prepare(spec)
+    if failure is not None:
+        diagnostics.append(failure)
+
+    context = LintContext(
+        spec=spec,
+        source=source,
+        prepared=prepared,
+        attrs=attrs,
+        mixed_choice=mixed_choice,
+    )
+    for registered in RULES.values():
+        diagnostics.extend(registered.check(context))
+
+    if prepared is not None and attrs is not None:
+        violations = check_service(prepared, attrs)
+        if mixed_choice:
+            violations = [
+                v
+                for v in violations
+                if not _arbiter_resolves(v, prepared, attrs)
+            ]
+        diagnostics.extend(_violation_diagnostics(violations))
+
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return LintResult(source, diagnostics)
+
+
+def _arbiter_resolves(
+    violation: Violation, prepared: Specification, attrs: AttributeTable
+) -> bool:
+    """R1 violations fixed by the two-party arbiter (see core.mixed_choice)."""
+    if violation.rule != "R1":
+        return False
+    for node in prepared.walk_behaviours():
+        if isinstance(node, Choice) and node.nid == violation.node:
+            sp_left = attrs.sp(node.left)
+            sp_right = attrs.sp(node.right)
+            return len(sp_left) == 1 and len(sp_right) == 1 and sp_left != sp_right
+    return False
+
+
+def _prepare(
+    spec: Specification,
+) -> Tuple[Optional[Specification], Optional[AttributeTable], Optional[Diagnostic]]:
+    """Flatten + number + evaluate attributes, reporting failure as E002.
+
+    Unlike the Protocol Generator's ``prepare``, disable operands are
+    *not* rewritten to action prefix form: lint wants to look at (and
+    point into) the text the author wrote, not the expanded tree.
+    """
+    try:
+        prepared = number_nodes(flatten_spec(spec))
+        attrs = evaluate_attributes(prepared)
+    except Exception as exc:  # noqa: BLE001 - lint must never raise
+        return (
+            None,
+            None,
+            Diagnostic(
+                rule="E002",
+                name="analysis-error",
+                severity=ERROR,
+                message=f"static analysis could not run: {exc}",
+            ),
+        )
+    return prepared, attrs, None
+
+
+def _violation_diagnostics(violations: Iterable[Violation]) -> List[Diagnostic]:
+    """Restriction violations rendered through the diagnostic model."""
+    found = []
+    for violation in violations:
+        if violation.rule in _SUPERSEDED or violation.rule not in _RESTRICTION_NAMES:
+            continue
+        found.append(
+            Diagnostic(
+                rule=violation.rule,
+                name=_RESTRICTION_NAMES[violation.rule],
+                severity=ERROR,
+                message=violation.message,
+                span=violation.loc,
+                hint="the Protocol Generator refuses this specification in "
+                "strict mode",
+            )
+        )
+    return found

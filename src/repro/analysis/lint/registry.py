@@ -1,0 +1,161 @@
+"""Rule registry and analysis context of the lint framework.
+
+A lint rule is a plain generator function decorated with :func:`rule`;
+the decorator records its stable id, default severity and documentation
+in the global :data:`RULES` table.  Rules receive a :class:`LintContext`
+and yield :class:`~repro.analysis.lint.diagnostics.Diagnostic` objects —
+the engine assembles, sorts and renders them.
+
+Rule ids are stable across releases (``L001`` stays ``unused-process``
+forever); retired rules leave holes rather than renumbering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional
+
+from repro.analysis.lint.diagnostics import SEVERITIES, Diagnostic
+from repro.core.attributes import AttributeTable
+from repro.lotos.events import ServicePrimitive
+from repro.lotos.location import Span
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Behaviour,
+    DefBlock,
+    ProcessRef,
+    Specification,
+)
+
+RuleCheck = Callable[["LintContext"], Iterator[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule: identity, default severity, documentation."""
+
+    id: str
+    name: str
+    severity: str
+    summary: str
+    check: RuleCheck
+
+    def diagnostic(
+        self,
+        message: str,
+        span: Optional[Span] = None,
+        hint: Optional[str] = None,
+        severity: Optional[str] = None,
+    ) -> Diagnostic:
+        return Diagnostic(
+            rule=self.id,
+            name=self.name,
+            severity=severity or self.severity,
+            message=message,
+            span=span,
+            hint=hint,
+        )
+
+
+#: The global registry, keyed by rule id, in registration order.
+RULES: Dict[str, LintRule] = {}
+
+
+def rule(rule_id: str, name: str, severity: str, summary: str):
+    """Register a check function as lint rule ``rule_id``."""
+    if severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r}")
+
+    def decorate(check: RuleCheck) -> LintRule:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        registered = LintRule(rule_id, name, severity, summary, check)
+        RULES[rule_id] = registered
+        return registered
+
+    return decorate
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect.
+
+    ``spec``
+        the specification exactly as parsed (nested WHERE blocks,
+        original process names, full source spans);
+    ``prepared`` / ``attrs``
+        the flattened, numbered tree and its SP/EP/AP attribute table —
+        ``None`` when preparation failed (e.g. unbound process names);
+        rules that need attributes must no-op in that case, the engine
+        reports the preparation failure itself.
+    """
+
+    spec: Specification
+    source: str = "<input>"
+    prepared: Optional[Specification] = None
+    attrs: Optional[AttributeTable] = None
+    #: lint for a ``--mixed-choice`` derivation: two-starter choices are
+    #: handled by the arbiter protocol instead of being defects.
+    mixed_choice: bool = False
+    _offered_cache: Dict[int, FrozenSet[ServicePrimitive]] = field(
+        default_factory=dict
+    )
+    _bodies: Optional[Dict[str, List[Behaviour]]] = field(default=None)
+
+    # ------------------------------------------------------------------
+    # shared traversal helpers
+    # ------------------------------------------------------------------
+    def blocks(self) -> Iterator[DefBlock]:
+        """Every definition block of the raw spec, outermost first."""
+
+        def walk(block: DefBlock) -> Iterator[DefBlock]:
+            yield block
+            for definition in block.definitions:
+                yield from walk(definition.body)
+
+        yield from walk(self.spec.root)
+
+    def offered_events(self, node: Behaviour) -> FrozenSet[ServicePrimitive]:
+        """Service primitives ``node`` may ever offer, references resolved.
+
+        References are resolved by raw name against *every* definition of
+        that name in the specification (a superset of lexical scoping
+        under shadowing), so "event e is never offered below this node"
+        conclusions stay sound.
+        """
+        key = id(node)
+        cached = self._offered_cache.get(key)
+        if cached is not None:
+            return cached
+
+        env = self._bodies_by_name()
+        seen: set = set()
+        found: set = set()
+
+        def collect(sub: Behaviour) -> None:
+            for item in sub.walk():
+                if isinstance(item, ActionPrefix) and isinstance(
+                    item.event, ServicePrimitive
+                ):
+                    found.add(item.event)
+                elif isinstance(item, ProcessRef) and item.name not in seen:
+                    seen.add(item.name)
+                    for body in env.get(item.name, ()):
+                        collect(body)
+
+        collect(node)
+        result = frozenset(found)
+        self._offered_cache[key] = result
+        return result
+
+    def _bodies_by_name(self) -> Dict[str, List[Behaviour]]:
+        """Raw process name -> bodies of every definition of that name."""
+        if self._bodies is None:
+            bodies: Dict[str, List[Behaviour]] = {}
+            for block in self.blocks():
+                for definition in block.definitions:
+                    bodies.setdefault(definition.name, []).append(
+                        definition.body.behaviour
+                    )
+            self._bodies = bodies
+        return self._bodies

@@ -1,0 +1,463 @@
+"""The shipped lint rules (L001-L011).
+
+Each rule is a generator over :class:`Diagnostic` registered via
+:func:`repro.analysis.lint.registry.rule`.  Rules L001-L008 and L011 are
+purely syntactic and run on the specification as parsed (original
+nesting, names and spans); L009 and L010 need the SP/EP/AP attribute
+table and silently skip when preparation failed (the engine reports the
+preparation failure separately).
+
+Severities follow one principle: *errors* mean the Protocol Generator
+will refuse or diverge, *warnings* mean the spec is legal but almost
+certainly not what the author meant, *infos* flag constructions that
+derive correctly but produce needlessly chatty protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.lint.diagnostics import ERROR, INFO, WARNING, Diagnostic
+from repro.analysis.lint.registry import LintContext, rule
+from repro.core.restrictions import _initial_refs
+from repro.lotos.expansion import is_action_prefix_form
+from repro.lotos.syntax import (
+    ActionPrefix,
+    Behaviour,
+    Choice,
+    DefBlock,
+    Disable,
+    Empty,
+    Enable,
+    Exit,
+    Hide,
+    Parallel,
+    ProcessDefinition,
+    ProcessRef,
+    Specification,
+    Stop,
+)
+
+
+def _fmt_places(places) -> str:
+    return "{" + ",".join(str(p) for p in sorted(places)) + "}"
+
+
+# ----------------------------------------------------------------------
+# scope analysis shared by L001 / L002 / L007
+# ----------------------------------------------------------------------
+class _ScopeInfo:
+    """Resolved definition graph of the raw (nested) specification."""
+
+    ROOT = 0  # graph node standing for the main behaviour expression
+
+    def __init__(self, spec: Specification) -> None:
+        self.defs: List[ProcessDefinition] = []
+        self.shadows: List[Tuple[ProcessDefinition, ProcessDefinition]] = []
+        #: graph-node id -> ids of definitions referenced from its behaviour
+        self.edges: Dict[int, Set[int]] = {}
+        #: same, restricted to references reachable before any action
+        self.init_edges: Dict[int, Set[int]] = {}
+        self._walk_block(spec.root, {}, self.ROOT)
+
+    def _walk_block(
+        self,
+        block: DefBlock,
+        scope: Dict[str, ProcessDefinition],
+        owner: int,
+    ) -> None:
+        local = dict(scope)
+        # All sibling definitions enter scope before any body is walked
+        # (they may be mutually recursive); a name already in scope —
+        # from an enclosing block or an earlier sibling — is shadowed.
+        for definition in block.definitions:
+            if definition.name in local:
+                self.shadows.append((definition, local[definition.name]))
+            local[definition.name] = definition
+            self.defs.append(definition)
+
+        def resolve(name: str) -> Optional[int]:
+            definition = local.get(name)
+            return id(definition) if definition is not None else None
+
+        refs = {
+            resolve(node.name)
+            for node in block.behaviour.walk()
+            if isinstance(node, ProcessRef)
+        }
+        self.edges[owner] = {r for r in refs if r is not None}
+        initial = {resolve(name) for name in _initial_refs(block.behaviour)}
+        self.init_edges[owner] = {r for r in initial if r is not None}
+        for definition in block.definitions:
+            self._walk_block(definition.body, local, id(definition))
+
+    def reachable(self) -> Set[int]:
+        """Definition ids reachable from the main behaviour expression."""
+        seen: Set[int] = set()
+        frontier = set(self.edges.get(self.ROOT, ()))
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier |= self.edges.get(current, set())
+        return seen
+
+    def unguarded(self) -> List[ProcessDefinition]:
+        """Definitions that can re-invoke themselves without an action."""
+        found = []
+        for definition in self.defs:
+            start = id(definition)
+            seen: Set[int] = set()
+            frontier = set(self.init_edges.get(start, ()))
+            while frontier:
+                current = frontier.pop()
+                if current == start:
+                    found.append(definition)
+                    break
+                if current in seen:
+                    continue
+                seen.add(current)
+                frontier |= self.init_edges.get(current, set())
+        return found
+
+
+def _scopes(ctx: LintContext) -> _ScopeInfo:
+    cached = getattr(ctx, "_scope_info", None)
+    if cached is None:
+        cached = _ScopeInfo(ctx.spec)
+        ctx._scope_info = cached
+    return cached
+
+
+@rule(
+    "L001",
+    "unused-process",
+    WARNING,
+    "process definition never invoked from the main behaviour",
+)
+def check_unused_process(ctx: LintContext) -> Iterator[Diagnostic]:
+    scopes = _scopes(ctx)
+    reachable = scopes.reachable()
+    for definition in scopes.defs:
+        if id(definition) not in reachable:
+            yield check_unused_process.diagnostic(
+                f"process {definition.name!r} is defined but never invoked; "
+                "the derivation ignores it",
+                span=definition.loc,
+                hint="delete the definition or invoke it from the behaviour",
+            )
+
+
+@rule(
+    "L002",
+    "shadowed-process",
+    WARNING,
+    "inner process definition shadows an outer definition of the same name",
+)
+def check_shadowed_process(ctx: LintContext) -> Iterator[Diagnostic]:
+    scopes = _scopes(ctx)
+    for inner, outer in scopes.shadows:
+        outer_at = f" (defined at {outer.loc})" if outer.loc else ""
+        yield check_shadowed_process.diagnostic(
+            f"process {inner.name!r} shadows another definition of the "
+            f"same name{outer_at}",
+            span=inner.loc,
+            hint="rename one of the definitions; shadowing resolves "
+            "innermost-first and is easy to misread",
+        )
+
+
+@rule(
+    "L007",
+    "unguarded-recursion",
+    ERROR,
+    "process can re-invoke itself before offering any action",
+)
+def check_unguarded_recursion(ctx: LintContext) -> Iterator[Diagnostic]:
+    scopes = _scopes(ctx)
+    for definition in scopes.unguarded():
+        yield check_unguarded_recursion.diagnostic(
+            f"process {definition.name!r} can invoke itself without first "
+            "offering an action; the operational semantics diverge",
+            span=definition.loc,
+            hint="guard the recursive invocation behind an event prefix "
+            "(e.g. 'a1; " + definition.name + "')",
+        )
+
+
+# ----------------------------------------------------------------------
+# control-flow rules
+# ----------------------------------------------------------------------
+def _may_exit(
+    node: Behaviour,
+    env: Dict[str, List[Behaviour]],
+    visiting: Optional[Set[str]] = None,
+) -> bool:
+    """Whether ``node`` can ever terminate successfully (offer delta).
+
+    Structural over-approximation: unresolved process references count as
+    exiting (unknown code is given the benefit of the doubt), recursion
+    that must re-enter itself to exit does not.
+    """
+    if visiting is None:
+        visiting = set()
+    if isinstance(node, Exit):
+        return True
+    if isinstance(node, (Stop, Empty)):
+        return False
+    if isinstance(node, ActionPrefix):
+        return _may_exit(node.continuation, env, visiting)
+    if isinstance(node, (Choice, Disable)):
+        return _may_exit(node.left, env, visiting) or _may_exit(
+            node.right, env, visiting
+        )
+    if isinstance(node, (Parallel, Enable)):
+        return _may_exit(node.left, env, visiting) and _may_exit(
+            node.right, env, visiting
+        )
+    if isinstance(node, Hide):
+        return _may_exit(node.body, env, visiting)
+    if isinstance(node, ProcessRef):
+        if node.name in visiting:
+            return False
+        bodies = env.get(node.name)
+        if not bodies:
+            return True
+        visiting.add(node.name)
+        try:
+            return any(_may_exit(body, env, visiting) for body in bodies)
+        finally:
+            visiting.discard(node.name)
+    return True
+
+
+@rule(
+    "L003",
+    "unreachable-code",
+    WARNING,
+    "right operand of '>>' is unreachable because the left never terminates",
+)
+def check_unreachable_code(ctx: LintContext) -> Iterator[Diagnostic]:
+    env = ctx._bodies_by_name()
+    for node in ctx.spec.walk_behaviours():
+        if isinstance(node, Enable) and not _may_exit(node.left, env):
+            yield check_unreachable_code.diagnostic(
+                "the behaviour after '>>' is unreachable: the left operand "
+                "can never terminate successfully (no 'exit' is reachable)",
+                span=node.right.loc or node.loc,
+                hint="replace a trailing 'stop' with 'exit', or delete the "
+                "'>>' continuation",
+            )
+
+
+@rule(
+    "L008",
+    "inert-operand",
+    WARNING,
+    "bare 'stop'/'empty' operand of a choice, parallel or disable",
+)
+def check_inert_operand(ctx: LintContext) -> Iterator[Diagnostic]:
+    for node in ctx.spec.walk_behaviours():
+        if isinstance(node, Choice):
+            for side, operand in (("left", node.left), ("right", node.right)):
+                if isinstance(operand, (Stop, Empty)):
+                    yield check_inert_operand.diagnostic(
+                        f"the {side} alternative of '[]' is inert "
+                        f"('{type(operand).__name__.lower()}' offers no "
+                        "event, so this branch can never be chosen)",
+                        span=operand.loc or node.loc,
+                        hint="delete the inert alternative",
+                    )
+        elif isinstance(node, Parallel):
+            for side, operand in (("left", node.left), ("right", node.right)):
+                if isinstance(operand, (Stop, Empty)):
+                    yield check_inert_operand.diagnostic(
+                        f"the {side} operand of a parallel composition is "
+                        f"'{type(operand).__name__.lower()}'; it contributes "
+                        "no events and blocks successful termination of the "
+                        "whole composition",
+                        span=operand.loc or node.loc,
+                        hint="drop the operand (or use 'exit' if only "
+                        "termination is intended)",
+                    )
+        elif isinstance(node, Disable):
+            if isinstance(node.right, (Stop, Empty)):
+                yield check_inert_operand.diagnostic(
+                    "the interrupt operand of '[>' is inert; the disabling "
+                    "can never trigger",
+                    span=node.right.loc or node.loc,
+                    hint="delete the '[>' operator",
+                )
+
+
+# ----------------------------------------------------------------------
+# gate/synchronization-set rules
+# ----------------------------------------------------------------------
+@rule(
+    "L004",
+    "sync-unused-gate",
+    WARNING,
+    "event in a '|[...]|' synchronization set that an operand never offers",
+)
+def check_sync_unused_gate(ctx: LintContext) -> Iterator[Diagnostic]:
+    for node in ctx.spec.walk_behaviours():
+        if not isinstance(node, Parallel) or not node.sync:
+            continue
+        left = ctx.offered_events(node.left)
+        right = ctx.offered_events(node.right)
+        for event in sorted(node.sync, key=str):
+            missing = [
+                side
+                for side, offered in (("left", left), ("right", right))
+                if event not in offered
+            ]
+            if not missing:
+                continue
+            if len(missing) == 2:
+                detail = "neither operand offers it"
+            else:
+                detail = f"the {missing[0]} operand never offers it"
+            yield check_sync_unused_gate.diagnostic(
+                f"synchronization event '{event}' can never occur: {detail}, "
+                "so the rendezvous blocks forever",
+                span=node.loc,
+                hint=f"remove '{event}' from the synchronization set or add "
+                "the event to the missing operand",
+            )
+
+
+@rule(
+    "L005",
+    "sync-missing-gate",
+    INFO,
+    "event offered by both operands of '|[...]|' but absent from its set",
+)
+def check_sync_missing_gate(ctx: LintContext) -> Iterator[Diagnostic]:
+    for node in ctx.spec.walk_behaviours():
+        if not isinstance(node, Parallel) or not node.sync:
+            continue
+        common = ctx.offered_events(node.left) & ctx.offered_events(node.right)
+        for event in sorted(common - node.sync, key=str):
+            yield check_sync_missing_gate.diagnostic(
+                f"event '{event}' is offered by both operands but is not in "
+                "the synchronization set; its occurrences interleave instead "
+                "of synchronizing",
+                span=node.loc,
+                hint=f"add '{event}' to the '|[...]|' set if a rendezvous "
+                "was intended",
+            )
+
+
+@rule(
+    "L006",
+    "hide-unused-gate",
+    WARNING,
+    "hidden gate that the hidden behaviour never offers",
+)
+def check_hide_unused_gate(ctx: LintContext) -> Iterator[Diagnostic]:
+    for node in ctx.spec.walk_behaviours():
+        if not isinstance(node, Hide) or not node.gates:
+            continue
+        offered = ctx.offered_events(node.body)
+        for event in sorted(node.gates, key=str):
+            if event not in offered:
+                yield check_hide_unused_gate.diagnostic(
+                    f"hidden event '{event}' never occurs in the hidden "
+                    "behaviour",
+                    span=node.loc,
+                    hint=f"remove '{event}' from the hide list",
+                )
+
+
+# ----------------------------------------------------------------------
+# derivation-quality rules (need the attribute table)
+# ----------------------------------------------------------------------
+@rule(
+    "L009",
+    "mixed-choice",
+    WARNING,
+    "choice whose alternatives start at two different places",
+)
+def check_mixed_choice(ctx: LintContext) -> Iterator[Diagnostic]:
+    if ctx.prepared is None or ctx.attrs is None or ctx.mixed_choice:
+        return
+    for node in ctx.prepared.walk_behaviours():
+        if not isinstance(node, Choice):
+            continue
+        sp_left = ctx.attrs.sp(node.left)
+        sp_right = ctx.attrs.sp(node.right)
+        if len(sp_left) == 1 and len(sp_right) == 1 and sp_left != sp_right:
+            (pa,) = sp_left
+            (pb,) = sp_right
+            yield check_mixed_choice.diagnostic(
+                f"the alternatives of this choice start at different places "
+                f"({pa} and {pb}); the basic algorithm cannot disable the "
+                "losing place instantly across the medium (restriction R1)",
+                span=node.loc,
+                hint="derive with --mixed-choice to insert the two-party "
+                "arbiter protocol, or restructure so both alternatives "
+                "start at one place",
+            )
+
+
+@rule(
+    "L010",
+    "needless-sync",
+    INFO,
+    "single-place (or sub-span) construct whose derivation broadcasts "
+    "to all places",
+)
+def check_needless_sync(ctx: LintContext) -> Iterator[Diagnostic]:
+    if ctx.prepared is None or ctx.attrs is None:
+        return
+    all_places = ctx.attrs.all_places
+    if len(all_places) < 2:
+        return
+    for node in ctx.prepared.walk_behaviours():
+        if node.nid is None or node.nid not in ctx.attrs.by_node:
+            continue
+        ap = ctx.attrs.by_node[node.nid].ap
+        if not ap or not ap < all_places:
+            continue
+        if isinstance(node, Disable):
+            yield check_needless_sync.diagnostic(
+                f"this '[>' involves only place(s) {_fmt_places(ap)}, but "
+                "its termination and interrupt synchronization broadcasts "
+                f"messages to all places {_fmt_places(all_places)}",
+                span=node.loc,
+                hint="keep disables as wide as the places they govern, or "
+                "accept the extra synchronization messages",
+            )
+        elif isinstance(node, ProcessRef):
+            shown = node.name.partition("#")[0]  # drop flattening suffix
+            yield check_needless_sync.diagnostic(
+                f"invoking process {shown!r} (places {_fmt_places(ap)}) "
+                "is announced to all places "
+                f"{_fmt_places(all_places)} by the derivation",
+                span=node.loc,
+                hint="inline single-place processes, or accept the "
+                "instantiation broadcast",
+            )
+
+
+# ----------------------------------------------------------------------
+# friendlier pre-checks for generator refusals
+# ----------------------------------------------------------------------
+@rule(
+    "L011",
+    "disable-not-action-prefix",
+    WARNING,
+    "'[>' operand not written in action prefix form",
+)
+def check_disable_apf(ctx: LintContext) -> Iterator[Diagnostic]:
+    for node in ctx.spec.walk_behaviours():
+        if isinstance(node, Disable) and not is_action_prefix_form(node.right):
+            yield check_disable_apf.diagnostic(
+                "the interrupt operand of '[>' is not in action prefix form "
+                "(a choice of 'event; ...' branches); the generator expands "
+                "it automatically, which can reshape the derived text",
+                span=node.right.loc or node.loc,
+                hint="write the operand as 'a; ...' or '(a; ...) [] (b; ...)' "
+                "for a derivation that mirrors your source",
+            )

@@ -1,9 +1,17 @@
-"""``lotos-pg``: command-line Protocol Generator.
+"""Command-line front ends: ``repro`` and the legacy ``lotos-pg``.
 
-The counterpart of the paper's Prolog PG prototype.  Reads a service
-specification (file or stdin), checks it, derives the protocol entity
-specification of every place, and optionally verifies the correctness
-theorem, reports message complexity, or executes random schedules::
+``repro`` is the subcommand interface::
+
+    repro lint service.lotos                    # static analysis only
+    repro lint service.lotos --format json      # machine-readable output
+    repro lint --list-rules                     # the rule catalogue
+    repro derive service.lotos [flags]          # lint warnings + derivation
+
+``lotos-pg`` is the original flag-style Protocol Generator (kept as an
+alias of ``repro derive``): reads a service specification (file or
+stdin), checks it, derives the protocol entity specification of every
+place, and optionally verifies the correctness theorem, reports message
+complexity, or executes random schedules::
 
     lotos-pg service.lotos                      # derive all entities
     lotos-pg service.lotos --place 2            # one entity
@@ -16,8 +24,10 @@ theorem, reports message complexity, or executes random schedules::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.complexity import analyze
 from repro.core.generator import derive_protocol
@@ -117,7 +127,23 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _broken_pipe_exit() -> int:
+    # A downstream reader (`repro lint ... | head`) closed stdout early.
+    # Swallow the write error and keep the interpreter's shutdown flush
+    # from raising again, instead of dumping a traceback.
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, sys.stdout.fileno())
+    return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _derive_main(argv)
+    except BrokenPipeError:
+        return _broken_pipe_exit()
+
+
+def _derive_main(argv: Optional[Sequence[str]] = None) -> int:
     args = make_parser().parse_args(argv)
     try:
         text = (
@@ -128,6 +154,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    _surface_lint_warnings(text, args.service, mixed_choice=args.mixed_choice)
 
     try:
         result = derive_protocol(
@@ -269,6 +297,149 @@ def _print_attributes(result) -> None:
             print("  ... (truncated)")
             break
     print()
+
+
+def _surface_lint_warnings(
+    text: str, source: str, mixed_choice: bool = False
+) -> None:
+    """Print lint warnings/infos to stderr before deriving.
+
+    Errors are left to the generator itself (strict mode refuses with its
+    own message); a crash inside lint must never block a derivation.
+    """
+    try:
+        from repro.analysis.lint import ERROR, lint_text
+
+        result = lint_text(text, source=source, mixed_choice=mixed_choice)
+        for diagnostic in result.diagnostics:
+            if diagnostic.severity != ERROR:
+                print(f"lint: {diagnostic.format(source)}", file=sys.stderr)
+    except Exception as exc:  # pragma: no cover - defensive
+        print(f"lint: internal error: {exc}", file=sys.stderr)
+
+
+# ----------------------------------------------------------------------
+# ``repro lint``
+# ----------------------------------------------------------------------
+def make_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Static analysis of LOTOS service specifications: "
+        "admissibility (R1-R3, grammar) plus lint rules for legal-but-"
+        "suspect constructs.  See docs/lint.md for the rule catalogue.",
+    )
+    parser.add_argument(
+        "specs",
+        nargs="*",
+        help="specification files, or '-' for stdin",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json follows the stable schema in docs/lint.md)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings, not only on errors",
+    )
+    parser.add_argument(
+        "--mixed-choice",
+        action="store_true",
+        help="lint for a --mixed-choice derivation (arbiter-resolvable "
+        "R1 violations and L009 are not reported)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def lint_main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _lint_main(argv)
+    except BrokenPipeError:
+        return _broken_pipe_exit()
+
+
+def _lint_main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.analysis.lint import RULES, lint_text
+
+    args = make_lint_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in sorted(RULES.values(), key=lambda r: r.id):
+            print(f"{rule.id}  {rule.name:<26} {rule.severity:<8} {rule.summary}")
+        return 0
+    if not args.specs:
+        make_lint_parser().error("no specification files given")
+
+    results = []
+    for path in args.specs:
+        try:
+            text = (
+                sys.stdin.read()
+                if path == "-"
+                else open(path, encoding="utf-8").read()
+            )
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        results.append(
+            lint_text(
+                text,
+                source="<stdin>" if path == "-" else path,
+                mixed_choice=args.mixed_choice,
+            )
+        )
+
+    if args.format == "json":
+        if len(results) == 1:
+            print(results[0].render_json())
+        else:
+            document = {
+                "version": results[0].to_dict()["version"],
+                "results": [result.to_dict() for result in results],
+            }
+            print(json.dumps(document, indent=2))
+    else:
+        for result in results:
+            print(result.render_text())
+
+    failed = any(
+        not result.ok or (args.strict and result.warnings) for result in results
+    )
+    return 1 if failed else 0
+
+
+# ----------------------------------------------------------------------
+# ``repro`` subcommand dispatcher
+# ----------------------------------------------------------------------
+_USAGE = """usage: repro <command> [options]
+
+commands:
+  lint      static analysis of a service specification (repro lint --help)
+  derive    derive protocol entities, lotos-pg style (repro derive --help)
+"""
+
+
+def repro_main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments: List[str] = list(sys.argv[1:] if argv is None else argv)
+    if not arguments or arguments[0] in ("-h", "--help"):
+        try:
+            print(_USAGE, end="")
+        except BrokenPipeError:
+            return _broken_pipe_exit()
+        return 0 if arguments else 2
+    command, rest = arguments[0], arguments[1:]
+    if command == "lint":
+        return lint_main(rest)
+    if command == "derive":
+        return main(rest)
+    print(f"error: unknown command {command!r}\n{_USAGE}", file=sys.stderr, end="")
+    return 2
 
 
 if __name__ == "__main__":

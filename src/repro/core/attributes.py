@@ -86,7 +86,13 @@ def number_nodes(spec: Specification, start: int = 1) -> Specification:
         if isinstance(node, ProcessRef):
             # The invocation site is the node's own number: it seeds the
             # occurrence paths of the instances created here.
-            return ProcessRef(node.name, site=nid, occurrence=node.occurrence, nid=nid)
+            return ProcessRef(
+                node.name,
+                site=nid,
+                occurrence=node.occurrence,
+                nid=nid,
+                loc=node.loc,
+            )
         rebuilt = node.with_children(new_children) if children else node
         return _with_nid(rebuilt, nid)
 

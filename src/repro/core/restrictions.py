@@ -20,12 +20,13 @@ generator refuses to derive in strict mode.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.core.attributes import AttributeTable
 from repro.errors import RestrictionViolation
 from repro.lotos.events import ServicePrimitive
 from repro.lotos.expansion import is_action_prefix_form
+from repro.lotos.location import Span
 from repro.lotos.syntax import (
     ActionPrefix,
     Behaviour,
@@ -43,14 +44,20 @@ from repro.lotos.syntax import (
 
 @dataclass(frozen=True)
 class Violation:
-    """One admissibility violation, attached to a numbered node."""
+    """One admissibility violation, attached to a numbered node.
+
+    ``loc`` is the source span of the offending node when the tree still
+    carries parser locations (``None`` for synthesized nodes).
+    """
 
     rule: str
     node: int
     message: str
+    loc: Optional[Span] = None
 
     def __str__(self) -> str:
-        return f"{self.rule} at node {self.node}: {self.message}"
+        where = f" (line {self.loc.line}, column {self.loc.column})" if self.loc else ""
+        return f"{self.rule} at node {self.node}{where}: {self.message}"
 
 
 def check_service(spec: Specification, attrs: AttributeTable) -> List[Violation]:
@@ -75,11 +82,21 @@ def check_1986_subset(spec: Specification) -> List[Violation]:
         nid = node.nid if node.nid is not None else -1
         if isinstance(node, Enable):
             violations.append(
-                Violation("1986", nid, "'>>' requires the extended algorithm")
+                Violation(
+                    "1986",
+                    nid,
+                    "'>>' requires the extended algorithm",
+                    loc=node.loc,
+                )
             )
         elif isinstance(node, Disable):
             violations.append(
-                Violation("1986", nid, "'[>' requires the extended algorithm")
+                Violation(
+                    "1986",
+                    nid,
+                    "'[>' requires the extended algorithm",
+                    loc=node.loc,
+                )
             )
         elif isinstance(node, Parallel) and not node.is_interleaving():
             violations.append(
@@ -87,6 +104,7 @@ def check_1986_subset(spec: Specification) -> List[Violation]:
                     "1986",
                     nid,
                     "rendezvous parallelism requires the extended algorithm",
+                    loc=node.loc,
                 )
             )
         elif isinstance(node, ProcessRef):
@@ -96,6 +114,7 @@ def check_1986_subset(spec: Specification) -> List[Violation]:
                     nid,
                     "process invocation requires the extended algorithm "
                     "([Khen 89] and later)",
+                    loc=node.loc,
                 )
             )
     return violations
@@ -114,7 +133,12 @@ def _check_node(node: Behaviour, attrs: AttributeTable) -> List[Violation]:
     violations: List[Violation] = []
     if isinstance(node, Hide):
         violations.append(
-            Violation("GRAMMAR", nid, "hiding is not supported in service specs")
+            Violation(
+                "GRAMMAR",
+                nid,
+                "hiding is not supported in service specs",
+                loc=node.loc,
+            )
         )
         return violations
     if isinstance(node, (Stop, Empty)):
@@ -124,6 +148,7 @@ def _check_node(node: Behaviour, attrs: AttributeTable) -> List[Violation]:
                 nid,
                 f"'{type(node).__name__.lower()}' is not part of the service "
                 "language (Table 1)",
+                loc=node.loc,
             )
         )
         return violations
@@ -136,6 +161,7 @@ def _check_node(node: Behaviour, attrs: AttributeTable) -> List[Violation]:
                     f"event {node.event} is not a service primitive "
                     "(send/receive interactions and 'i' belong to the "
                     "protocol level)",
+                    loc=node.loc,
                 )
             )
         return violations
@@ -147,6 +173,7 @@ def _check_node(node: Behaviour, attrs: AttributeTable) -> List[Violation]:
                         "GRAMMAR",
                         nid,
                         f"synchronization set contains non-primitive {event}",
+                        loc=node.loc,
                     )
                 )
         return violations
@@ -159,6 +186,7 @@ def _check_node(node: Behaviour, attrs: AttributeTable) -> List[Violation]:
                     nid,
                     f"choice alternatives must start at one common place; "
                     f"SP(left)={_fmt(left.sp)}, SP(right)={_fmt(right.sp)}",
+                    loc=node.loc,
                 )
             )
         if left.ep != right.ep:
@@ -168,6 +196,7 @@ def _check_node(node: Behaviour, attrs: AttributeTable) -> List[Violation]:
                     nid,
                     f"choice alternatives must end at the same places; "
                     f"EP(left)={_fmt(left.ep)}, EP(right)={_fmt(right.ep)}",
+                    loc=node.loc,
                 )
             )
         return violations
@@ -180,6 +209,7 @@ def _check_node(node: Behaviour, attrs: AttributeTable) -> List[Violation]:
                     nid,
                     f"disable operands must end at the same places; "
                     f"EP(normal)={_fmt(left.ep)}, EP(interrupt)={_fmt(right.ep)}",
+                    loc=node.loc,
                 )
             )
         if not right.sp <= left.ep:
@@ -190,6 +220,7 @@ def _check_node(node: Behaviour, attrs: AttributeTable) -> List[Violation]:
                     f"the disabling events must start at ending places of the "
                     f"normal part; SP(interrupt)={_fmt(right.sp)} ⊄ "
                     f"EP(normal)={_fmt(left.ep)}",
+                    loc=node.loc,
                 )
             )
         if not is_action_prefix_form(node.right):
@@ -199,6 +230,7 @@ def _check_node(node: Behaviour, attrs: AttributeTable) -> List[Violation]:
                     nid,
                     "disable operand is not in action prefix form; apply "
                     "repro.lotos.expansion.transform_disable_operands",
+                    loc=node.loc,
                 )
             )
         return violations
@@ -213,8 +245,10 @@ def _check_guardedness(spec: Specification) -> List[Violation]:
     "reachable at initial position" structurally.
     """
     heads: Dict[str, Set[str]] = {}
+    def_locs: Dict[str, Optional[Span]] = {}
     for definition in spec.definitions:
         heads[definition.name] = _initial_refs(definition.body.behaviour)
+        def_locs[definition.name] = definition.loc
 
     violations: List[Violation] = []
     for name in heads:
@@ -229,6 +263,7 @@ def _check_guardedness(spec: Specification) -> List[Violation]:
                         -1,
                         f"process {name!r} can invoke itself without first "
                         "offering an action (unguarded recursion)",
+                        loc=def_locs.get(name),
                     )
                 )
                 break

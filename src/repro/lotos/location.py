@@ -1,0 +1,54 @@
+"""Source locations for specification text.
+
+A :class:`Span` is a half-open region of source text in 1-based line /
+column coordinates, as produced by the lexer's position tracking.  The
+parser attaches one to every syntax-tree node it builds (the ``loc``
+field of :class:`repro.lotos.syntax.Behaviour`), so that downstream
+diagnostics — the restriction checker, the lint pass — can point at the
+exact source text that triggered them.
+
+Spans are metadata: they never participate in behaviour equality or
+hashing (two structurally identical expressions written on different
+lines are the same state), and tree rewrites (flattening, numbering,
+action-prefix expansion) preserve them where the rewritten node has a
+textual original and drop them (``loc=None``) for synthesized nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Span:
+    """A contiguous region of source text, 1-based, end-exclusive."""
+
+    line: int
+    column: int
+    end_line: Optional[int] = None
+    end_column: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def cover(self, other: Optional["Span"]) -> "Span":
+        """The smallest span containing both ``self`` and ``other``."""
+        if other is None:
+            return self
+        start = min((self.line, self.column), (other.line, other.column))
+        ends = [
+            (s.end_line, s.end_column)
+            for s in (self, other)
+            if s.end_line is not None
+        ]
+        end = max(ends) if ends else (None, None)
+        return Span(start[0], start[1], end[0], end[1])
+
+    def to_dict(self) -> dict:
+        return {
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+        }

@@ -43,6 +43,7 @@ from repro.lotos.events import (
     SyncMessage,
 )
 from repro.lotos.lexer import Token, split_event_identifier, tokenize
+from repro.lotos.location import Span
 from repro.lotos.syntax import (
     ActionPrefix,
     Behaviour,
@@ -102,6 +103,23 @@ class _Parser:
         return ParseError(message + f", found {token.value!r}", token.line, token.column)
 
     # ------------------------------------------------------------------
+    # source spans
+    # ------------------------------------------------------------------
+    def span_from(self, start: Token) -> Span:
+        """Span from ``start`` to the end of the last consumed token."""
+        last = self._tokens[self._index - 1] if self._index else start
+        return Span(start.line, start.column, last.line, last.column + len(last.value))
+
+    @staticmethod
+    def token_span(token: Token) -> Span:
+        return Span(
+            token.line,
+            token.column,
+            token.line,
+            token.column + len(token.value),
+        )
+
+    # ------------------------------------------------------------------
     # grammar rules
     # ------------------------------------------------------------------
     def parse_specification(self) -> Specification:
@@ -136,20 +154,23 @@ class _Parser:
         self.expect("EQUALS")
         body = self.parse_def_block()
         self.expect("KEYWORD", "END")
-        return ProcessDefinition(name_token.value, body)
+        return ProcessDefinition(
+            name_token.value, body, loc=self.token_span(name_token)
+        )
 
     def parse_expression(self) -> Behaviour:
+        start = self.current
         if self.at_keyword("hide"):
             return self.parse_hide()
         left = self.parse_dis()
         if self.current.type == "ENABLE":
             self.advance()
             right = self.parse_expression()
-            return Enable(left, right)
+            return Enable(left, right, loc=self.span_from(start))
         return left
 
     def parse_hide(self) -> Behaviour:
-        self.expect("KEYWORD", "hide")
+        start = self.expect("KEYWORD", "hide")
         hide_messages = False
         gates: List[Event] = []
         if self.current.type == "IDENT" and self.current.value == "messages":
@@ -162,30 +183,39 @@ class _Parser:
                 gates.append(self.parse_event())
         self.expect("KEYWORD", "in")
         body = self.parse_expression()
-        return Hide(body, frozenset(gates), hide_messages)
+        return Hide(body, frozenset(gates), hide_messages, loc=self.span_from(start))
 
     def parse_dis(self) -> Behaviour:
+        start = self.current
         left = self.parse_par()
         if self.current.type == "DISABLE":
             self.advance()
             right = self.parse_dis()
-            return Disable(left, right)
+            return Disable(left, right, loc=self.span_from(start))
         return left
 
     def parse_par(self) -> Behaviour:
+        start = self.current
         left = self.parse_choice()
         token = self.current
         if token.type == "INTERLEAVE":
             self.advance()
-            return Parallel(left, self.parse_par())
+            return Parallel(left, self.parse_par(), loc=self.span_from(start))
         if token.type == "FULLSYNC":
             self.advance()
-            return Parallel(left, self.parse_par(), sync_all=True)
+            return Parallel(
+                left, self.parse_par(), sync_all=True, loc=self.span_from(start)
+            )
         if token.type == "LSYNC":
             self.advance()
             subset = self.parse_event_subset()
             self.expect("RSYNC")
-            return Parallel(left, self.parse_par(), sync=frozenset(subset))
+            return Parallel(
+                left,
+                self.parse_par(),
+                sync=frozenset(subset),
+                loc=self.span_from(start),
+            )
         return left
 
     def parse_event_subset(self) -> List[Event]:
@@ -199,11 +229,12 @@ class _Parser:
         return events
 
     def parse_choice(self) -> Behaviour:
+        start = self.current
         left = self.parse_seq()
         if self.current.type == "CHOICE":
             self.advance()
             right = self.parse_choice()
-            return Choice(left, right)
+            return Choice(left, right, loc=self.span_from(start))
         return left
 
     def parse_seq(self) -> Behaviour:
@@ -216,13 +247,13 @@ class _Parser:
         if token.type == "KEYWORD":
             if token.value == "exit":
                 self.advance()
-                return Exit()
+                return Exit(loc=self.token_span(token))
             if token.value == "stop":
                 self.advance()
-                return Stop()
+                return Stop(loc=self.token_span(token))
             if token.value == "empty":
                 self.advance()
-                return Empty()
+                return Empty(loc=self.token_span(token))
             raise self.error("expected a behaviour expression")
         if token.type == "IDENT":
             if token.value[0].isupper():
@@ -232,21 +263,24 @@ class _Parser:
                     self.advance()
                     site = int(self.expect("NUMBER").value)
                     self.expect("RPAREN")
-                return ProcessRef(token.value, site=site)
+                return ProcessRef(
+                    token.value, site=site, loc=self.span_from(token)
+                )
             event = self.parse_event()
             self.expect("SEMI")
             continuation = self.parse_seq_continuation()
-            return ActionPrefix(event, continuation)
+            return ActionPrefix(event, continuation, loc=self.span_from(token))
         raise self.error("expected a behaviour expression")
 
     def parse_seq_continuation(self) -> Behaviour:
         """The part after ``Event ;`` — another Seq, ``exit`` or ``stop``."""
+        token = self.current
         if self.at_keyword("exit"):
             self.advance()
-            return Exit()
+            return Exit(loc=self.token_span(token))
         if self.at_keyword("stop"):
             self.advance()
-            return Stop()
+            return Stop(loc=self.token_span(token))
         return self.parse_seq()
 
     # ------------------------------------------------------------------

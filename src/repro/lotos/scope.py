@@ -38,7 +38,9 @@ from repro.lotos.syntax import (
 Environment = Mapping[str, Behaviour]
 
 
-def flatten(spec: Specification) -> Tuple[Behaviour, Dict[str, Behaviour]]:
+def flatten(
+    spec: Specification, loc_sink: Dict[str, object] | None = None
+) -> Tuple[Behaviour, Dict[str, Behaviour]]:
     """Elaborate ``spec`` into (root behaviour, flat environment).
 
     Inner definitions shadow outer ones; a shadowed or shadowing name is
@@ -47,6 +49,9 @@ def flatten(spec: Specification) -> Tuple[Behaviour, Dict[str, Behaviour]]:
     protocol specifications show "the same [process] names" as the
     service specification, as the paper promises.  Raises
     :class:`UnboundProcessError` for dangling references.
+
+    ``loc_sink``, when given, collects the source span of each
+    definition under its qualified name (diagnostics metadata).
     """
     definitions: Dict[str, Behaviour] = {}
     used_names: Dict[str, int] = {}
@@ -58,18 +63,18 @@ def flatten(spec: Specification) -> Tuple[Behaviour, Dict[str, Behaviour]]:
 
     def walk_block(block: DefBlock, scope: Mapping[str, str]) -> Behaviour:
         local_scope = dict(scope)
-        assigned = {}
+        assigned = []
         for definition in block.definitions:
             qualified = unique_name(definition.name)
             local_scope[definition.name] = qualified
-            assigned[definition.name] = qualified
+            assigned.append(qualified)
+            if loc_sink is not None:
+                loc_sink[qualified] = definition.loc
             # Reserve the slot now so outer definitions precede the inner
             # ones they contain (textual order).
             definitions.setdefault(qualified, None)
-        for definition in block.definitions:
-            definitions[assigned[definition.name]] = walk_block(
-                definition.body, local_scope
-            )
+        for qualified, definition in zip(assigned, block.definitions):
+            definitions[qualified] = walk_block(definition.body, local_scope)
         return resolve_refs(block.behaviour, local_scope)
 
     root = walk_block(spec.root, {})
@@ -84,9 +89,11 @@ def flatten_spec(spec: Specification) -> Specification:
     the derived entities carry one definition per service process, in
     stable (definition-order) sequence.
     """
-    root, definitions = flatten(spec)
+    def_locs: Dict[str, object] = {}
+    root, definitions = flatten(spec, loc_sink=def_locs)
     flat_defs = tuple(
-        ProcessDefinition(name, DefBlock(body)) for name, body in definitions.items()
+        ProcessDefinition(name, DefBlock(body), loc=def_locs.get(name))
+        for name, body in definitions.items()
     )
     return Specification(DefBlock(root, flat_defs))
 
@@ -99,7 +106,9 @@ def resolve_refs(node: Behaviour, scope: Mapping[str, str]) -> Behaviour:
         resolved = scope[node.name]
         if resolved == node.name:
             return node
-        return ProcessRef(resolved, node.site, node.occurrence, nid=node.nid)
+        return ProcessRef(
+            resolved, node.site, node.occurrence, nid=node.nid, loc=node.loc
+        )
     children = node.children()
     if not children:
         return node
@@ -122,14 +131,18 @@ def bind_occurrence(node: Behaviour, occurrence: OccurrencePath) -> Behaviour:
         if node.occurrence is not None:
             return node
         return ProcessRef(
-            node.name, node.site, node.child_occurrence(occurrence), nid=node.nid
+            node.name,
+            node.site,
+            node.child_occurrence(occurrence),
+            nid=node.nid,
+            loc=node.loc,
         )
     if isinstance(node, ActionPrefix):
         event = _bind_event(node.event, occurrence)
         continuation = bind_occurrence(node.continuation, occurrence)
         if event is node.event and continuation is node.continuation:
             return node
-        return ActionPrefix(event, continuation, nid=node.nid)
+        return ActionPrefix(event, continuation, nid=node.nid, loc=node.loc)
     children = node.children()
     if not children:
         return node

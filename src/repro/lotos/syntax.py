@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import FrozenSet, Iterator, Optional, Tuple
 
 from repro.lotos.events import Event, OccurrencePath
+from repro.lotos.location import Span
 
 
 @dataclass(frozen=True, eq=False)
@@ -33,15 +34,24 @@ class Behaviour:
     their parents, so hashing a successor is O(1) amortized instead of
     O(tree size)), and equality short-circuits on identity and on hash
     mismatch before falling back to field-by-field comparison.
+
+    ``loc`` is the source span the parser read this node from.  It is
+    pure metadata: excluded from equality and hashing (a behaviour
+    expression denotes the same state wherever it was written), carried
+    along by ``with_children`` rebuilds, and ``None`` on synthesized
+    nodes (derivation output, expansion residues).
     """
 
     nid: Optional[int] = field(default=None, kw_only=True)
+    loc: Optional[Span] = field(default=None, kw_only=True, repr=False)
 
     @classmethod
     def _field_names(cls) -> Tuple[str, ...]:
         names = cls.__dict__.get("_field_names_cache")
         if names is None:
-            names = tuple(f.name for f in dataclasses.fields(cls))
+            names = tuple(
+                f.name for f in dataclasses.fields(cls) if f.name != "loc"
+            )
             cls._field_names_cache = names
         return names
 
@@ -127,7 +137,7 @@ class ActionPrefix(Behaviour):
 
     def with_children(self, children: Tuple[Behaviour, ...]) -> "ActionPrefix":
         (continuation,) = children
-        return ActionPrefix(self.event, continuation, nid=self.nid)
+        return ActionPrefix(self.event, continuation, nid=self.nid, loc=self.loc)
 
 
 @dataclass(frozen=True, eq=False)
@@ -142,7 +152,7 @@ class Choice(Behaviour):
 
     def with_children(self, children: Tuple[Behaviour, ...]) -> "Choice":
         left, right = children
-        return Choice(left, right, nid=self.nid)
+        return Choice(left, right, nid=self.nid, loc=self.loc)
 
 
 @dataclass(frozen=True, eq=False)
@@ -165,7 +175,9 @@ class Parallel(Behaviour):
 
     def with_children(self, children: Tuple[Behaviour, ...]) -> "Parallel":
         left, right = children
-        return Parallel(left, right, self.sync, self.sync_all, nid=self.nid)
+        return Parallel(
+            left, right, self.sync, self.sync_all, nid=self.nid, loc=self.loc
+        )
 
     def is_interleaving(self) -> bool:
         return not self.sync_all and not self.sync
@@ -189,7 +201,7 @@ class Enable(Behaviour):
 
     def with_children(self, children: Tuple[Behaviour, ...]) -> "Enable":
         left, right = children
-        return Enable(left, right, nid=self.nid)
+        return Enable(left, right, nid=self.nid, loc=self.loc)
 
 
 @dataclass(frozen=True, eq=False)
@@ -204,7 +216,7 @@ class Disable(Behaviour):
 
     def with_children(self, children: Tuple[Behaviour, ...]) -> "Disable":
         left, right = children
-        return Disable(left, right, nid=self.nid)
+        return Disable(left, right, nid=self.nid, loc=self.loc)
 
 
 @dataclass(frozen=True, eq=False)
@@ -233,7 +245,7 @@ class Hide(Behaviour):
 
     def with_children(self, children: Tuple[Behaviour, ...]) -> "Hide":
         (body,) = children
-        return Hide(body, self.gates, self.hide_messages, nid=self.nid)
+        return Hide(body, self.gates, self.hide_messages, nid=self.nid, loc=self.loc)
 
 
 @dataclass(frozen=True, eq=False)
@@ -264,11 +276,14 @@ class ProcessDefinition:
     """``PROC name = body END`` (Table 1 rule 6).
 
     ``body`` is a :class:`DefBlock`: process definitions nest, and inner
-    definitions shadow outer ones (block structure).
+    definitions shadow outer ones (block structure).  ``loc`` is the
+    source span of the defined name, for diagnostics; like behaviour
+    locations it is metadata and excluded from equality.
     """
 
     name: str
     body: "DefBlock"
+    loc: Optional[Span] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)

@@ -13,10 +13,7 @@ from repro.lotos.parser import parse, parse_behaviour
 from repro.lotos.scope import flatten_spec
 from repro.lotos.syntax import (
     ActionPrefix,
-    Choice,
     Disable,
-    Enable,
-    Parallel,
     ProcessRef,
     Specification,
     DefBlock,

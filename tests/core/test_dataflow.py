@@ -1,6 +1,5 @@
 """Interaction-parameter data-flow tests (the [Gotz 90] extension)."""
 
-import pytest
 
 from repro.core.dataflow import analyze_parameters
 from repro.core.generator import derive_protocol

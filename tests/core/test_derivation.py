@@ -7,7 +7,6 @@ allocates some message identifiers beyond the displayed tree).  The
 events — is asserted to match the paper's printed derivations exactly.
 """
 
-import pytest
 
 from repro.core.derivation import Deriver
 from repro.core.generator import derive_protocol
@@ -17,8 +16,6 @@ from repro.lotos.syntax import (
     Choice,
     Disable,
     Enable,
-    Exit,
-    Parallel,
     ProcessRef,
 )
 from repro.lotos.unparse import unparse_behaviour

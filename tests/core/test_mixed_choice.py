@@ -10,7 +10,7 @@ The last test pins that limitation down.
 
 import pytest
 
-from repro.core.generator import ProtocolGenerator, derive_protocol
+from repro.core.generator import derive_protocol
 from repro.errors import RestrictionViolation
 from repro.lotos.events import SyncMessage
 from repro.lotos.semantics import Semantics

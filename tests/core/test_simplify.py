@@ -17,7 +17,6 @@ from repro.lotos.syntax import (
     Enable,
     Exit,
     Parallel,
-    Stop,
 )
 
 SEM = Semantics()

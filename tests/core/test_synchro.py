@@ -15,7 +15,6 @@ from repro.lotos.scope import flatten_spec
 from repro.lotos.syntax import (
     ActionPrefix,
     Empty,
-    Enable,
     Exit,
     Parallel,
     ProcessRef,

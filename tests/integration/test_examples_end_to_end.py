@@ -2,7 +2,6 @@
 
 import random
 
-from repro.core.generator import derive_protocol
 from repro.runtime import build_system, check_run, random_run
 from repro.runtime.conformance import check_trace
 from repro.runtime.executor import run_many

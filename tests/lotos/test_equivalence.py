@@ -7,7 +7,6 @@ These tests double as a regression net for the SOS rules: virtually any
 semantics bug breaks at least one law.
 """
 
-import pytest
 
 from repro.lotos.equivalence import (
     minimize_weak,

@@ -1,6 +1,5 @@
 """Event-model unit tests: identity, rendering, matching, binding."""
 
-import pytest
 
 from repro.lotos.events import (
     DELTA,

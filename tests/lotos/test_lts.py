@@ -33,11 +33,11 @@ class TestConstruction:
 
     def test_labels(self):
         lts = build_lts(parse_behaviour("a1; exit ||| b2; exit"), SEM)
-        assert {str(l) for l in lts.labels()} == {"a1", "b2", "delta"}
+        assert {str(label) for label in lts.labels()} == {"a1", "b2", "delta"}
 
     def test_observable_labels_exclude_internal(self):
         lts = build_lts(parse_behaviour("i; a1; exit"), SEM)
-        assert {str(l) for l in lts.observable_labels()} == {"a1", "delta"}
+        assert {str(label) for label in lts.observable_labels()} == {"a1", "delta"}
 
     def test_successors(self):
         lts = build_lts(parse_behaviour("a1; exit [] a1; stop"), SEM)

@@ -45,6 +45,22 @@ class TestFlatten:
         assert definitions["A"].continuation == ProcessRef("B")
         assert definitions["B"].continuation == ProcessRef("A")
 
+    def test_duplicate_sibling_definitions(self):
+        # Sibling duplicates used to collide on their raw name, leaving a
+        # definition slot empty (None body) and crashing downstream passes.
+        spec = parse(
+            """SPEC P WHERE
+                 PROC P = a1; exit END
+                 PROC P = b2; exit END
+               ENDSPEC"""
+        )
+        root, definitions = flatten(spec)
+        assert set(definitions) == {"P", "P#2"}
+        assert definitions["P"] == parse_behaviour("a1; exit")
+        assert definitions["P#2"] == parse_behaviour("b2; exit")
+        # References resolve to the later (shadowing) sibling.
+        assert root == ProcessRef("P#2")
+
     def test_unbound_reference_raises(self):
         spec = parse("SPEC A WHERE PROC A = Missing END ENDSPEC")
         with pytest.raises(UnboundProcessError):

@@ -7,16 +7,14 @@ from repro.errors import (
     UnboundProcessError,
     UnguardedRecursionError,
 )
-from repro.lotos.events import DELTA, INTERNAL, Delta, ServicePrimitive
+from repro.lotos.events import INTERNAL, Delta, ServicePrimitive
 from repro.lotos.parser import parse, parse_behaviour
 from repro.lotos.semantics import Semantics
 from repro.lotos.syntax import (
-    ActionPrefix,
     Disable,
     Empty,
     Enable,
     Exit,
-    Parallel,
     Stop,
 )
 

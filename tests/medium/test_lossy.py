@@ -1,6 +1,5 @@
 """Lossy-medium and ARQ-sublayer unit tests (paper Section 6 extension)."""
 
-import pytest
 
 from repro.lotos.events import SyncMessage
 from repro.medium.lossy import ArqChannel, ArqMedium, LossyMedium

@@ -5,10 +5,8 @@ import pytest
 from repro.core.generator import derive_protocol
 from repro.lotos.events import (
     Delta,
-    InternalAction,
     ReceiveAction,
     SendAction,
-    ServicePrimitive,
 )
 from repro.runtime.system import build_system
 
@@ -47,8 +45,8 @@ class TestComposition:
         # with internal (vacuous-exit) steps interspersed.
         observable = [text for text in rendered if text != "i"]
         assert observable[0] == "a1"
-        assert any(isinstance(l, SendAction) for l in labels)
-        assert any(isinstance(l, ReceiveAction) for l in labels)
+        assert any(isinstance(label, SendAction) for label in labels)
+        assert any(isinstance(label, ReceiveAction) for label in labels)
         send_at = next(i for i, l in enumerate(labels) if isinstance(l, SendAction))
         receive_at = next(
             i for i, l in enumerate(labels) if isinstance(l, ReceiveAction)
@@ -69,8 +67,8 @@ class TestComposition:
     def test_unhidden_messages_visible(self, example4):
         system = build_system(example4.entities, hide=False)
         labels, _ = self._walk_first(system)
-        send = next(l for l in labels if isinstance(l, SendAction))
-        receive = next(l for l in labels if isinstance(l, ReceiveAction))
+        send = next(label for label in labels if isinstance(label, SendAction))
+        receive = next(label for label in labels if isinstance(label, ReceiveAction))
         assert send.src == 1 and send.dest == 2
         assert receive.dest == 2 and receive.src == 1
         assert send.message == receive.message

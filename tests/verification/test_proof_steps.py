@@ -22,7 +22,7 @@ from repro.core.generator import derive_protocol
 from repro.lotos.equivalence import observationally_congruent, weak_bisimilar
 from repro.lotos.events import ReceiveAction, SendAction
 from repro.lotos.lts import build_lts
-from repro.lotos.parser import parse, parse_behaviour
+from repro.lotos.parser import parse
 from repro.lotos.semantics import Semantics
 from repro.lotos.syntax import (
     ActionPrefix,
@@ -30,7 +30,6 @@ from repro.lotos.syntax import (
     Enable,
     Exit,
     Hide,
-    Stop,
 )
 from repro.runtime.system import build_system
 from repro.verification.composition import compose_term

@@ -1,6 +1,5 @@
 """Verification-report API tests: rendering, truthiness, safety path."""
 
-import pytest
 
 from repro.core.generator import derive_protocol
 from repro.verification.checker import (
