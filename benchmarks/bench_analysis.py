@@ -4,7 +4,14 @@ Times the full design-error audit (deadlocks, blocked receptions, dead
 code) over composed systems of growing size, and the static-analysis
 front end (``repro lint``: all rules plus the restriction passthrough)
 over the largest generated service specifications.
+
+Also the obs overhead guard: derivation with the tracer disabled (the
+process default) must cost nothing measurable over the instrumented
+code paths — the no-op tracer does no clock reads, no string
+formatting, no allocation.
 """
+
+import time
 
 import pytest
 
@@ -76,3 +83,63 @@ def test_analyze_transport(benchmark, transport_result):
 
     report = benchmark(run)
     assert not report.deadlocks
+
+
+# ----------------------------------------------------------------------
+# Obs overhead guard
+# ----------------------------------------------------------------------
+def _median_seconds(fn, repeats=9):
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_derive_overhead_tracing_disabled(benchmark):
+    """The default (no-op) tracer path of the instrumented pipeline."""
+    text = workloads.EXAMPLE3_FILE_TRANSFER
+    result = benchmark(lambda: derive_protocol(text))
+    assert result.places == [1, 2, 3]
+
+
+def test_derive_overhead_tracing_enabled(benchmark):
+    """Same derivation under a live tracer + registry, for comparison."""
+    from repro.obs import observe
+
+    text = workloads.EXAMPLE3_FILE_TRANSFER
+
+    def run():
+        with observe():
+            return derive_protocol(text)
+
+    result = benchmark(run)
+    assert result.places == [1, 2, 3]
+
+
+def test_disabled_mode_overhead_is_unmeasurable():
+    """Disabled-mode derivation must not be slower than the traced one.
+
+    The margin is deliberately generous (1.5x + 5 ms) so scheduler noise
+    cannot flake the suite; the *crisp* zero-cost property — no clock
+    reads on the disabled path — is asserted exactly in
+    ``tests/obs/test_spans.py``.
+    """
+    from repro.obs import observe
+
+    text = workloads.EXAMPLE3_FILE_TRANSFER
+    derive_protocol(text)  # warm parser/import caches
+
+    def enabled():
+        with observe():
+            derive_protocol(text)
+
+    disabled_s = _median_seconds(lambda: derive_protocol(text))
+    enabled_s = _median_seconds(enabled)
+    assert disabled_s <= enabled_s * 1.5 + 0.005, (
+        f"disabled-mode derivation ({disabled_s * 1e3:.2f} ms) is slower "
+        f"than traced derivation ({enabled_s * 1e3:.2f} ms): the no-op "
+        "path is doing real work"
+    )

@@ -1,15 +1,81 @@
-"""Shared benchmark fixtures.
+"""Shared benchmark fixtures and the ``--bench-json`` reporter.
 
 Each benchmark module regenerates one of the paper's evaluation
 artifacts (see DESIGN.md's experiment index); the fixtures here cache the
 expensive derivations so timing loops measure only the operation under
 study.
+
+``pytest benchmarks/ --bench-json=PATH`` additionally dumps one JSON
+document (schema ``repro.obs.bench/v1``) with every benchmark's
+wall-clock call time plus a snapshot of the obs metrics the exercised
+code published — the raw material of the repo's perf trajectory.
 """
+
+import json
 
 import pytest
 
 from repro import workloads
 from repro.core.generator import derive_protocol
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write per-benchmark wall-times and an obs metrics snapshot "
+        "to PATH as JSON (schema repro.obs.bench/v1)",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--bench-json"):
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        # A live registry for the whole session, so the code under
+        # benchmark publishes its counters into the report.
+        config._bench_records = []
+        config._bench_registry = MetricsRegistry()
+        set_registry(config._bench_registry)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    records = getattr(item.config, "_bench_records", None)
+    if records is None:
+        return
+    report = outcome.get_result()
+    if report.when == "call":
+        records.append(
+            {
+                "nodeid": report.nodeid,
+                "wall_time_s": round(report.duration, 6),
+                "outcome": report.outcome,
+            }
+        )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    config = session.config
+    records = getattr(config, "_bench_records", None)
+    if records is None:
+        return
+    from repro.obs.metrics import NULL_REGISTRY, set_registry
+    from repro.obs.schema import BENCH_SCHEMA
+
+    set_registry(NULL_REGISTRY)
+    document = {
+        "schema": BENCH_SCHEMA,
+        "benchmarks": records,
+        "metrics": config._bench_registry.snapshot(),
+    }
+    path = config.getoption("--bench-json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

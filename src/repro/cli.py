@@ -6,6 +6,14 @@
     repro lint service.lotos --format json      # machine-readable output
     repro lint --list-rules                     # the rule catalogue
     repro derive service.lotos [flags]          # lint warnings + derivation
+    repro derive service.lotos --trace          # span tree on stderr
+    repro derive service.lotos --stats=json     # metrics snapshot on stderr
+    repro profile service.lotos                 # consolidated JSON report
+    repro --version
+
+Diagnostic output (lint warnings, traces, stats, profile digests) goes
+to stderr so stdout stays pipeable; ``--quiet`` silences the
+informational stderr chatter of every subcommand.
 
 ``lotos-pg`` is the original flag-style Protocol Generator (kept as an
 alias of ``repro derive``): reads a service specification (file or
@@ -124,7 +132,51 @@ def make_parser() -> argparse.ArgumentParser:
         help="emit Graphviz DOT: the attributed derivation tree (Fig. 4) "
         "or the service LTS",
     )
+    _add_observability_flags(parser)
     return parser
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree of the work done to stderr",
+    )
+    parser.add_argument(
+        "--stats",
+        nargs="?",
+        const="text",
+        choices=["text", "json"],
+        default=None,
+        metavar="FORMAT",
+        help="print a metrics snapshot to stderr (text, or --stats=json)",
+    )
+    _add_common_flags(parser)
+
+
+def _add_common_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress informational stderr output (lint warnings, digests)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
+    )
+
+
+def _package_version() -> str:
+    """The installed distribution version, or the source tree's."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
 
 
 def _broken_pipe_exit() -> int:
@@ -154,8 +206,28 @@ def _derive_main(argv: Optional[Sequence[str]] = None) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if not (args.trace or args.stats):
+        return _derive_body(args, text)
+    # Observe the whole derivation (and whatever --verify/--run add) and
+    # report on stderr afterwards, even when the body exits early.
+    from repro.obs import observe
 
-    _surface_lint_warnings(text, args.service, mixed_choice=args.mixed_choice)
+    with observe() as obs:
+        code = _derive_body(args, text)
+    if args.trace:
+        print(obs.tracer.render(), file=sys.stderr)
+    if args.stats == "json":
+        print(obs.metrics.render_json(), file=sys.stderr)
+    elif args.stats:
+        print(obs.metrics.render(), file=sys.stderr)
+    return code
+
+
+def _derive_body(args: argparse.Namespace, text: str) -> int:
+    if not args.quiet:
+        _surface_lint_warnings(
+            text, args.service, mixed_choice=args.mixed_choice
+        )
 
     try:
         result = derive_protocol(
@@ -169,7 +241,7 @@ def _derive_main(argv: Optional[Sequence[str]] = None) -> int:
         return 1
 
     compact = not args.full_messages
-    if result.violations:
+    if result.violations and not args.quiet:
         for violation in result.violations:
             print(f"warning: {violation}", file=sys.stderr)
 
@@ -319,6 +391,98 @@ def _surface_lint_warnings(
 
 
 # ----------------------------------------------------------------------
+# ``repro profile``
+# ----------------------------------------------------------------------
+def make_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Profile the full life of one service specification — "
+        "derivation, Section 5 verification, N seeded executor runs — and "
+        "emit one consolidated JSON report (schema repro.obs.profile/v1) "
+        "on stdout.  A human-readable digest goes to stderr unless "
+        "--quiet.  See docs/observability.md.",
+    )
+    parser.add_argument(
+        "service",
+        help="path to the service specification, or '-' for stdin",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=3, metavar="N",
+        help="seeded schedules to execute (default 3)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--max-steps", type=int, default=5_000, help="step budget per run"
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the Section 5 theorem check",
+    )
+    parser.add_argument(
+        "--trace-depth",
+        type=int,
+        default=6,
+        help="depth bound for the trace-equivalence fallback (default 6)",
+    )
+    parser.add_argument(
+        "--mixed-choice",
+        action="store_true",
+        help="derive with the arbiter-protocol R1 extension",
+    )
+    parser.add_argument(
+        "--indent",
+        type=int,
+        default=2,
+        metavar="N",
+        help="JSON indentation; 0 emits the compact one-line form",
+    )
+    _add_common_flags(parser)
+    return parser
+
+
+def profile_main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _profile_main(argv)
+    except BrokenPipeError:
+        return _broken_pipe_exit()
+
+
+def _profile_main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.obs import profile_spec, render_report, render_report_json
+
+    args = make_profile_parser().parse_args(argv)
+    try:
+        text = (
+            sys.stdin.read()
+            if args.service == "-"
+            else open(args.service, encoding="utf-8").read()
+        )
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = profile_spec(
+            text,
+            source="<stdin>" if args.service == "-" else args.service,
+            runs=args.runs,
+            seed=args.seed,
+            max_steps=args.max_steps,
+            verify=not args.no_verify,
+            mixed_choice=args.mixed_choice,
+            trace_depth=args.trace_depth,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    indent = args.indent if args.indent > 0 else None
+    print(render_report_json(report, indent=indent))
+    if not args.quiet:
+        print(render_report(report), file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # ``repro lint``
 # ----------------------------------------------------------------------
 def make_lint_parser() -> argparse.ArgumentParser:
@@ -354,6 +518,16 @@ def make_lint_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the report; the exit status is the verdict",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     return parser
 
@@ -395,7 +569,9 @@ def _lint_main(argv: Optional[Sequence[str]] = None) -> int:
             )
         )
 
-    if args.format == "json":
+    if args.quiet:
+        pass  # exit status only, grep -q style
+    elif args.format == "json":
         if len(results) == 1:
             print(results[0].render_json())
         else:
@@ -422,6 +598,10 @@ _USAGE = """usage: repro <command> [options]
 commands:
   lint      static analysis of a service specification (repro lint --help)
   derive    derive protocol entities, lotos-pg style (repro derive --help)
+  profile   derive + verify + run; one JSON report (repro profile --help)
+
+options:
+  --version print the package version and exit
 """
 
 
@@ -433,11 +613,16 @@ def repro_main(argv: Optional[Sequence[str]] = None) -> int:
         except BrokenPipeError:
             return _broken_pipe_exit()
         return 0 if arguments else 2
+    if arguments[0] in ("--version", "-V"):
+        print(f"repro {_package_version()}")
+        return 0
     command, rest = arguments[0], arguments[1:]
     if command == "lint":
         return lint_main(rest)
     if command == "derive":
         return main(rest)
+    if command == "profile":
+        return profile_main(rest)
     print(f"error: unknown command {command!r}\n{_USAGE}", file=sys.stderr, end="")
     return 2
 

@@ -18,6 +18,8 @@ from repro.core.attributes import AttributeTable, evaluate_attributes, number_no
 from repro.core.derivation import Deriver
 from repro.core.restrictions import Violation, check_service, raise_on_violations
 from repro.errors import DerivationError
+from repro.obs.metrics import get_registry
+from repro.obs.spans import get_tracer
 from repro.lotos.events import ServicePrimitive
 from repro.lotos.expansion import transform_disable_operands
 from repro.lotos.parser import parse
@@ -111,36 +113,72 @@ class ProtocolGenerator:
     # ------------------------------------------------------------------
     def prepare(self, service: ServiceInput) -> Specification:
         """Steps the paper performs before attribute evaluation."""
-        spec = parse(service) if isinstance(service, str) else service
-        spec = flatten_spec(spec)
-        spec = _expand_full_sync(spec)
-        spec = transform_disable_operands(spec)
-        return number_nodes(spec)
+        tracer = get_tracer()
+        if isinstance(service, str):
+            with tracer.span("derive.parse"):
+                spec = parse(service)
+        else:
+            spec = service
+        with tracer.span("derive.flatten"):
+            spec = flatten_spec(spec)
+        with tracer.span("derive.expand_sync"):
+            spec = _expand_full_sync(spec)
+        with tracer.span("derive.normalize_disable"):
+            spec = transform_disable_operands(spec)
+        with tracer.span("derive.number"):
+            return number_nodes(spec)
 
     def derive(self, service: ServiceInput) -> DerivationResult:
-        original = parse(service) if isinstance(service, str) else service
-        prepared = self.prepare(original)
-        attrs = evaluate_attributes(prepared)
-        violations = check_service(prepared, attrs)
-        if self.subset_1986:
-            from repro.core.restrictions import check_1986_subset
+        tracer = get_tracer()
+        registry = get_registry()
+        with tracer.span("derive") as derive_span:
+            with tracer.span("derive.parse"):
+                original = parse(service) if isinstance(service, str) else service
+            prepared = self.prepare(original)
+            with tracer.span("derive.attributes"):
+                attrs = evaluate_attributes(prepared)
+            with tracer.span("derive.restrictions"):
+                violations = check_service(prepared, attrs)
+                if self.subset_1986:
+                    from repro.core.restrictions import check_1986_subset
 
-            violations = check_1986_subset(prepared) + violations
-        if self.mixed_choice:
-            violations = [
-                violation
-                for violation in violations
-                if not self._handled_by_mixed_choice(violation, prepared, attrs)
-            ]
-        if self.strict:
-            raise_on_violations(violations)
-        deriver = Deriver(
-            prepared,
-            attrs,
-            emit_sync=self.emit_sync,
-            allow_mixed_choice=self.mixed_choice,
-        )
-        entities = {place: deriver.derive(place) for place in sorted(attrs.all_places)}
+                    violations = check_1986_subset(prepared) + violations
+                if self.mixed_choice:
+                    violations = [
+                        violation
+                        for violation in violations
+                        if not self._handled_by_mixed_choice(
+                            violation, prepared, attrs
+                        )
+                    ]
+                if self.strict:
+                    raise_on_violations(violations)
+            deriver = Deriver(
+                prepared,
+                attrs,
+                emit_sync=self.emit_sync,
+                allow_mixed_choice=self.mixed_choice,
+            )
+            entities = {}
+            for place in sorted(attrs.all_places):
+                with tracer.span("derive.entity", place=place):
+                    entities[place] = deriver.derive(place)
+            derive_span.set(
+                places=len(entities), sync_fragments=len(deriver.ledger)
+            )
+            registry.gauge(
+                "derive.places", help="service access points in ALL"
+            ).set(len(entities))
+            registry.gauge(
+                "derive.nodes", help="numbered nodes in the prepared tree"
+            ).set(sum(1 for _ in prepared.walk_behaviours()))
+            registry.counter(
+                "derive.sync_fragments",
+                help="Table 4 synchronization fragments generated",
+            ).inc(len(deriver.ledger))
+            registry.counter(
+                "derive.violations", help="R1-R3/grammar findings recorded"
+            ).inc(len(violations))
         return DerivationResult(
             service=original,
             prepared=prepared,

@@ -21,6 +21,8 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 from repro.errors import VerificationError
 from repro.lotos.events import Label
 from repro.lotos.lts import LTS
+from repro.obs.metrics import get_registry
+from repro.obs.spans import get_tracer
 
 #: Pseudo-label used in the saturated system for "zero or more internal
 #: moves".  Any object distinct from real labels works; a module-private
@@ -62,7 +64,9 @@ def _refine(
 ) -> List[int]:
     """Signature-based partition refinement; returns block ids per state."""
     blocks = [0] * num_states
+    iterations = 0
     while True:
+        iterations += 1
         signatures: Dict[int, Tuple[int, FrozenSet[Tuple[object, int]]]] = {}
         for state in range(num_states):
             signature = frozenset(
@@ -76,6 +80,15 @@ def _refine(
             block = mapping.setdefault(key, len(mapping))
             new_blocks[state] = block
         if new_blocks == blocks:
+            registry = get_registry()
+            registry.counter(
+                "equivalence.refine_iterations",
+                help="partition-refinement sweeps until fixpoint",
+            ).inc(iterations)
+            registry.gauge(
+                "equivalence.blocks",
+                help="equivalence classes at the last fixpoint",
+            ).set(len(mapping))
             return blocks
         blocks = new_blocks
 
@@ -130,8 +143,18 @@ def _is_tau(label: object) -> bool:
 def weak_bisimulation_blocks(lts1: LTS, lts2: LTS) -> Tuple[List[int], _Union]:
     """Weak-bisimulation classes over the disjoint union of both LTSs."""
     union = _disjoint_union(lts1, lts2)
-    saturated = _saturate(union.edges)
-    blocks = _refine(len(union.edges), saturated)
+    with get_tracer().span(
+        "equivalence.weak_bisimulation", states=len(union.edges)
+    ) as span:
+        with get_tracer().span("equivalence.saturate"):
+            saturated = _saturate(union.edges)
+        get_registry().counter(
+            "equivalence.saturated_edges",
+            help="weak (double-arrow) transitions after saturation",
+        ).inc(sum(len(outgoing) for outgoing in saturated))
+        with get_tracer().span("equivalence.refine"):
+            blocks = _refine(len(union.edges), saturated)
+        span.set(blocks=len(set(blocks)))
     return blocks, union
 
 

@@ -22,6 +22,8 @@ from typing import Dict, Optional
 from repro.errors import ExpansionError
 from repro.lotos.events import Delta, Event
 from repro.lotos.semantics import Semantics
+from repro.obs.metrics import get_registry
+from repro.obs.spans import get_tracer
 from repro.lotos.syntax import (
     ActionPrefix,
     Behaviour,
@@ -106,6 +108,7 @@ def transform_disable_operands(spec: Specification) -> Specification:
             )
     semantics = Semantics(environment, bind_occurrences=False)
     cache: Dict[Behaviour, Behaviour] = {}
+    expansions = [0]  # disable operands actually head-normalized
 
     def rewrite(node: Behaviour, depth: int) -> Behaviour:
         if depth > 64:
@@ -120,6 +123,8 @@ def transform_disable_operands(spec: Specification) -> Specification:
             return node
         if isinstance(node, Disable):
             left = rewrite(node.left, depth)
+            if not is_action_prefix_form(node.right):
+                expansions[0] += 1
             right = head_normal_form(node.right, semantics)
             # The expansion may splice in residuals containing further
             # disables (e.g. unfolding a process body); normalize them too.
@@ -145,13 +150,22 @@ def transform_disable_operands(spec: Specification) -> Specification:
             return node
         return node.with_children(new_children)
 
-    new_root = rewrite(spec.root.behaviour, 0)
-    new_defs = []
-    changed = new_root != spec.root.behaviour
-    for definition in spec.definitions:
-        new_body = rewrite(definition.body.behaviour, 0)
-        changed = changed or new_body != definition.body.behaviour
-        new_defs.append(ProcessDefinition(definition.name, DefBlock(new_body)))
+    with get_tracer().span("expansion.normalize_disable") as span:
+        new_root = rewrite(spec.root.behaviour, 0)
+        new_defs = []
+        changed = new_root != spec.root.behaviour
+        for definition in spec.definitions:
+            new_body = rewrite(definition.body.behaviour, 0)
+            changed = changed or new_body != definition.body.behaviour
+            new_defs.append(
+                ProcessDefinition(definition.name, DefBlock(new_body))
+            )
+        span.set(expanded_operands=expansions[0])
+        if expansions[0]:
+            get_registry().counter(
+                "expansion.hnf_rewrites",
+                help="disable operands rewritten to action prefix form",
+            ).inc(expansions[0])
     if not changed:
         return spec
     return Specification(DefBlock(new_root, tuple(new_defs)))

@@ -17,6 +17,8 @@ from repro.errors import StateSpaceLimitExceeded
 from repro.lotos.events import Delta, InternalAction, Label
 from repro.lotos.semantics import Semantics
 from repro.lotos.syntax import Behaviour
+from repro.obs.metrics import get_registry
+from repro.obs.spans import get_tracer
 
 #: Default budget for exhaustive state exploration.
 DEFAULT_MAX_STATES = 20_000
@@ -130,21 +132,45 @@ def build_lts(
         queue.append(state)
         return state
 
-    while queue:
-        state = queue.popleft()
-        outgoing: List[Tuple[Label, int]] = []
-        hit_limit = False
-        for label, residual in semantics.transitions(terms[state]):
-            target = intern(residual)
-            if target is None:
-                hit_limit = True
-                continue
-            outgoing.append((label, target))
-        if hit_limit:
-            if on_limit == "raise":
-                raise StateSpaceLimitExceeded(max_states)
-            truncated.add(state)
-        edges[state] = tuple(outgoing)
+    # States/transitions are tallied in the locals above and published
+    # once on the way out (even when the budget overflow raises), so the
+    # inner loop carries no instrumentation cost.
+    with get_tracer().span("lts.build", max_states=max_states) as span:
+        try:
+            while queue:
+                state = queue.popleft()
+                outgoing: List[Tuple[Label, int]] = []
+                hit_limit = False
+                for label, residual in semantics.transitions(terms[state]):
+                    target = intern(residual)
+                    if target is None:
+                        hit_limit = True
+                        continue
+                    outgoing.append((label, target))
+                if hit_limit:
+                    if on_limit == "raise":
+                        raise StateSpaceLimitExceeded(max_states)
+                    truncated.add(state)
+                edges[state] = tuple(outgoing)
+        finally:
+            transitions = sum(len(out) for out in edges if out is not None)
+            span.set(
+                states=len(terms),
+                transitions=transitions,
+                truncated=len(truncated),
+            )
+            registry = get_registry()
+            registry.counter(
+                "lts.states_expanded", help="states interned by build_lts"
+            ).inc(len(terms))
+            registry.counter(
+                "lts.transitions", help="transitions recorded by build_lts"
+            ).inc(transitions)
+            if truncated:
+                registry.counter(
+                    "lts.truncated_states",
+                    help="frontier states left unexpanded at the budget",
+                ).inc(len(truncated))
 
     final_edges = [outgoing if outgoing is not None else () for outgoing in edges]
     return LTS(terms, final_edges, 0, truncated)

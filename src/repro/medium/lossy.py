@@ -76,6 +76,10 @@ class LossyMedium:
             for message in messages:
                 yield src, dest, message
 
+    def channel_depths(self) -> dict:
+        """Current queue depth per nonempty channel (observability hook)."""
+        return {key: len(messages) for key, messages in self.channels}
+
     def can_send(self, src: int, dest: int) -> bool:
         return True
 
@@ -244,6 +248,14 @@ class ArqMedium:
         for (src, dest), channel in self.channels:
             for message in channel.outbox + channel.delivered:
                 yield src, dest, message
+
+    def channel_depths(self) -> dict:
+        """Entity-visible depth (outbox + delivered) per active channel."""
+        return {
+            key: len(channel.outbox) + len(channel.delivered)
+            for key, channel in self.channels
+            if channel.outbox or channel.delivered
+        }
 
     # -- protocol machinery -------------------------------------------
     def internal_transitions(self) -> List[Tuple[str, "ArqMedium"]]:

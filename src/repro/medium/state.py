@@ -73,6 +73,10 @@ class MediumState:
             for message in messages:
                 yield src, dest, message
 
+    def channel_depths(self) -> Dict[ChannelKey, int]:
+        """Current queue depth per nonempty channel (observability hook)."""
+        return {key: len(messages) for key, messages in self.channels}
+
     # ------------------------------------------------------------------
     def can_send(self, src: int, dest: int) -> bool:
         if self.capacity is None:

@@ -1,0 +1,209 @@
+"""The consolidated profiling harness behind ``repro profile``.
+
+:func:`profile_spec` runs the full life of one service specification —
+derivation, Section 5 verification, and N seeded executor runs — under a
+fresh tracer and metrics registry, and folds everything into one JSON
+report (schema ``repro.obs.profile/v1``).  The report is the artifact
+the repo's ``BENCH_*.json`` perf trajectory and CI's profile-smoke job
+are built from: pipeline-stage spans, LTS state counts, per-channel
+queue high-water marks and message-delay distributions, all in one
+machine-readable document.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.schema import PROFILE_SCHEMA
+from repro.obs.spans import Tracer, use_tracer
+
+
+def channel_name(key) -> str:
+    """Render a ``(src, dest)`` channel key as the stable ``"src->dest"``."""
+    src, dest = key
+    return f"{src}->{dest}"
+
+
+def profile_spec(
+    text: str,
+    source: str = "<string>",
+    runs: int = 3,
+    seed: int = 0,
+    max_steps: int = 5_000,
+    verify: bool = True,
+    mixed_choice: bool = False,
+    discipline: str = "fifo",
+    trace_depth: int = 6,
+) -> Dict[str, Any]:
+    """Derive + verify + execute ``runs`` seeded schedules; one report.
+
+    Services with ``[>`` are executed with the selective discipline and
+    without the empty-at-exit gate, matching how the rest of the repo
+    runs disable-carrying examples.
+    """
+    from repro.core.generator import derive_protocol
+    from repro.lotos.syntax import Disable
+    from repro.runtime import build_system, check_run, random_run
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_registry(registry):
+        with tracer.span("profile", source=source):
+            result = derive_protocol(text, mixed_choice=mixed_choice)
+            has_disable = any(
+                isinstance(node, Disable)
+                for node in result.prepared.walk_behaviours()
+            )
+
+            verification: Optional[Dict[str, Any]] = None
+            if verify:
+                from repro.verification import safety_report, verify_derivation
+
+                # Disable-carrying services fall outside the Section 5
+                # theorem; the meaningful property there is one-sided
+                # trace inclusion (Section 3.3), so profile that instead.
+                with tracer.span("profile.verify"):
+                    report = (
+                        safety_report(result, trace_depth=trace_depth)
+                        if has_disable
+                        else verify_derivation(result, trace_depth=trace_depth)
+                    )
+                verification = {
+                    "method": report.method,
+                    "equivalent": bool(report.equivalent),
+                    "congruent": report.congruent,
+                    "service_states": report.service_states,
+                    "system_states": report.system_states,
+                    "trace_depth": report.trace_depth,
+                }
+            if has_disable:
+                discipline = "selective"
+            with tracer.span("profile.execute", runs=runs):
+                system = build_system(
+                    result.entities,
+                    discipline=discipline,
+                    require_empty_at_exit=not has_disable,
+                )
+                run_rows: List[Dict[str, Any]] = []
+                hwm: Dict[str, int] = {}
+                delays: List[int] = []
+                conformant = True
+                for offset in range(runs):
+                    run = random_run(
+                        system, seed=seed + offset, max_steps=max_steps
+                    )
+                    verdict = check_run(result.service, run)
+                    conformant = conformant and verdict.ok
+                    row_hwm = {
+                        channel_name(key): depth
+                        for key, depth in sorted(run.queue_high_water.items())
+                    }
+                    for channel, depth in row_hwm.items():
+                        if depth > hwm.get(channel, 0):
+                            hwm[channel] = depth
+                    delays.extend(run.delivery_delays)
+                    run_rows.append(
+                        {
+                            "seed": seed + offset,
+                            "steps": run.steps,
+                            "trace_length": len(run.trace),
+                            "messages_sent": run.messages_sent,
+                            "messages_received": run.messages_received,
+                            "status": _status(run),
+                            "conformant": verdict.ok,
+                            "queue_high_water": row_hwm,
+                        }
+                    )
+
+    ledger_total = int(
+        registry.counter("derive.sync_fragments").value()
+    )
+    report_doc: Dict[str, Any] = {
+        "schema": PROFILE_SCHEMA,
+        "source": source,
+        "places": [int(place) for place in result.places],
+        "derivation": {
+            "places": len(result.places),
+            "sync_fragments": ledger_total,
+            "violations": len(result.violations),
+            "has_disable": has_disable,
+        },
+        "verification": verification,
+        "runs": run_rows,
+        "medium": {
+            "discipline": discipline,
+            "queue_high_water": hwm,
+            "delays": _summarize_delays(delays),
+        },
+        "conformant": conformant,
+        "trace": tracer.to_dict(),
+        "metrics": registry.snapshot(),
+    }
+    return report_doc
+
+
+def _status(run) -> str:
+    if run.terminated:
+        return "terminated"
+    if run.deadlocked:
+        return "deadlocked"
+    if run.truncated:
+        return "truncated"
+    return "running"
+
+
+def _summarize_delays(delays: List[int]) -> Dict[str, Any]:
+    if not delays:
+        return {"count": 0, "min": None, "max": None, "mean": None}
+    return {
+        "count": len(delays),
+        "min": min(delays),
+        "max": max(delays),
+        "mean": round(sum(delays) / len(delays), 3),
+    }
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Short human-readable digest of a profile report."""
+    lines = [f"profile of {report['source']} (places {report['places']})"]
+    derivation = report["derivation"]
+    lines.append(
+        f"  derivation: {derivation['places']} entities, "
+        f"{derivation['sync_fragments']} sync fragments, "
+        f"{derivation['violations']} violations"
+    )
+    verification = report.get("verification")
+    if verification:
+        lines.append(
+            f"  verification: {verification['method']} -> "
+            f"{'EQUIVALENT' if verification['equivalent'] else 'NOT EQUIVALENT'}"
+            + (
+                f" (service={verification['service_states']}, "
+                f"system={verification['system_states']} states)"
+                if verification.get("service_states") is not None
+                else ""
+            )
+        )
+    for row in report["runs"]:
+        lines.append(
+            f"  run seed={row['seed']}: {row['status']} after {row['steps']} "
+            f"steps, {row['messages_sent']} messages, "
+            f"conformant={row['conformant']}"
+        )
+    hwm = report["medium"]["queue_high_water"]
+    if hwm:
+        rendered = ", ".join(f"{ch}:{d}" for ch, d in sorted(hwm.items()))
+        lines.append(f"  queue high-water: {rendered}")
+    delays = report["medium"]["delays"]
+    if delays["count"]:
+        lines.append(
+            f"  delivery delay (steps): min={delays['min']} "
+            f"mean={delays['mean']} max={delays['max']} n={delays['count']}"
+        )
+    return "\n".join(lines)
+
+
+def render_report_json(report: Dict[str, Any], indent: Optional[int] = 2) -> str:
+    return json.dumps(report, indent=indent, sort_keys=True)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.lotos.events import (
     Delta,
@@ -22,7 +22,11 @@ from repro.lotos.events import (
     SendAction,
     ServicePrimitive,
 )
+from repro.obs.metrics import get_registry
+from repro.obs.spans import get_tracer
 from repro.runtime.system import DistributedSystem, SystemState
+
+ChannelKey = Tuple[int, int]
 
 
 @dataclass
@@ -47,6 +51,13 @@ class Run:
     #: The transition index chosen at every step — replayable with
     #: :func:`replay` for deterministic debugging of a schedule.
     schedule: List[int] = field(default_factory=list)
+    #: Deepest queue observed per channel over the run (media exposing
+    #: ``channel_depths``; empty otherwise).
+    queue_high_water: Dict[ChannelKey, int] = field(default_factory=dict)
+    #: Steps each delivered message spent in flight, in delivery order
+    #: (FIFO accounting per channel; drops count as deliveries, matching
+    #: how ``messages_received`` treats them).
+    delivery_delays: List[int] = field(default_factory=list)
 
     @property
     def observable(self) -> Tuple[Label, ...]:
@@ -84,35 +95,97 @@ def random_run(
     # classifying the *unhidden* variant.  DistributedSystem with
     # hide=False exposes them; with hide=True we count via medium deltas.
     previous_in_flight = state.medium.in_flight
-    for _ in range(max_steps):
-        transitions = system.transitions(state)
-        if not transitions:
-            run.deadlocked = not system.is_terminated(state)
-            break
-        if chooser is not None:
-            index = chooser(state, transitions)
+    # Per-channel accounting (queue high-water marks, in-flight delays)
+    # works off the medium's channel_depths hook; custom media without it
+    # keep the global tallies only.
+    depths_of = getattr(state.medium, "channel_depths", None)
+    previous_depths: Dict[ChannelKey, int] = depths_of() if depths_of else {}
+    pending_sends: Dict[ChannelKey, List[int]] = {}
+    with get_tracer().span("executor.run", seed=seed) as span:
+        for _ in range(max_steps):
+            transitions = system.transitions(state)
+            if not transitions:
+                run.deadlocked = not system.is_terminated(state)
+                break
+            if chooser is not None:
+                index = chooser(state, transitions)
+            else:
+                index = rng.randrange(len(transitions))
+            run.schedule.append(index)
+            label, state = transitions[index]
+            run.steps += 1
+            in_flight = state.medium.in_flight
+            if in_flight > previous_in_flight:
+                run.messages_sent += in_flight - previous_in_flight
+            elif in_flight < previous_in_flight:
+                run.messages_received += previous_in_flight - in_flight
+            if depths_of is not None and in_flight != previous_in_flight:
+                depths = state.medium.channel_depths()
+                _account_channels(
+                    run, previous_depths, depths, pending_sends, run.steps
+                )
+                previous_depths = depths
+            previous_in_flight = in_flight
+            if isinstance(label, ServicePrimitive):
+                run.trace.append(label)
+            elif isinstance(label, Delta):
+                run.terminated = True
+                break
+            elif isinstance(label, (SendAction, ReceiveAction, InternalAction)):
+                run.internal_steps += 1
         else:
-            index = rng.randrange(len(transitions))
-        run.schedule.append(index)
-        label, state = transitions[index]
-        run.steps += 1
-        in_flight = state.medium.in_flight
-        if in_flight > previous_in_flight:
-            run.messages_sent += in_flight - previous_in_flight
-        elif in_flight < previous_in_flight:
-            run.messages_received += previous_in_flight - in_flight
-        previous_in_flight = in_flight
-        if isinstance(label, ServicePrimitive):
-            run.trace.append(label)
-        elif isinstance(label, Delta):
-            run.terminated = True
-            break
-        elif isinstance(label, (SendAction, ReceiveAction, InternalAction)):
-            run.internal_steps += 1
-    else:
-        run.truncated = True
+            run.truncated = True
+        span.set(steps=run.steps, messages=run.messages_sent)
     run.final_state = state
+    _publish_run_metrics(run)
     return run
+
+
+def _account_channels(
+    run: Run,
+    previous: Dict[ChannelKey, int],
+    current: Dict[ChannelKey, int],
+    pending_sends: Dict[ChannelKey, List[int]],
+    step: int,
+) -> None:
+    """Fold one step's per-channel depth changes into the run record."""
+    for key in current.keys() | previous.keys():
+        depth = current.get(key, 0)
+        delta = depth - previous.get(key, 0)
+        if delta > 0:
+            if depth > run.queue_high_water.get(key, 0):
+                run.queue_high_water[key] = depth
+            pending_sends.setdefault(key, []).extend([step] * delta)
+        elif delta < 0:
+            queue = pending_sends.get(key)
+            for _ in range(-delta):
+                if queue:
+                    run.delivery_delays.append(step - queue.pop(0))
+
+
+def _publish_run_metrics(run: Run) -> None:
+    """One-shot export of a finished run into the active registry."""
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    queue_gauge = registry.gauge(
+        "medium.queue_depth", help="per-channel queue high-water mark"
+    )
+    for (src, dest), depth in run.queue_high_water.items():
+        queue_gauge.set_max(depth, channel=f"{src}->{dest}")
+    delay_hist = registry.histogram(
+        "medium.delay_steps", help="steps each message spent in flight"
+    )
+    for delay in run.delivery_delays:
+        delay_hist.observe(delay)
+    registry.counter("executor.runs", help="schedules executed").inc()
+    registry.counter("executor.steps", help="transitions taken").inc(run.steps)
+    registry.counter(
+        "executor.messages_sent", help="messages entering the medium"
+    ).inc(run.messages_sent)
+    registry.counter(
+        "executor.messages_received", help="messages leaving the medium"
+    ).inc(run.messages_received)
 
 
 def replay(

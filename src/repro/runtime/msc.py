@@ -102,24 +102,41 @@ def record_schedule(
     seed: int = 0,
     max_steps: int = 2_000,
     chooser=None,
+    schedule: Optional[List[int]] = None,
 ) -> MessageSequenceChart:
     """Replay one schedule and collect its MSC.
 
     ``system`` must have been built with ``hide=False`` (message labels
-    are needed); raises ``ValueError`` otherwise.
+    are needed); raises ``ValueError`` otherwise.  Passing ``schedule``
+    (a :class:`repro.runtime.executor.Run`'s recorded choices) renders
+    that exact execution instead of drawing a fresh seeded one — the
+    chart of a run you already measured.  A schedule index that does not
+    fit the system raises ``IndexError``, as in
+    :func:`repro.runtime.executor.replay`.
     """
     if system.hide:
         raise ValueError("build the system with hide=False to record an MSC")
+    if schedule is not None and chooser is not None:
+        raise ValueError("pass either a schedule or a chooser, not both")
     rng = random.Random(seed)
     chart = MessageSequenceChart(places=tuple(system.places))
     state = system.initial
-    for _ in range(max_steps):
+    steps = len(schedule) if schedule is not None else max_steps
+    for position in range(steps):
         transitions = system.transitions(state)
         if not transitions:
             break
-        index = chooser(state, transitions) if chooser else rng.randrange(
-            len(transitions)
-        )
+        if schedule is not None:
+            index = schedule[position]
+            if index >= len(transitions):
+                raise IndexError(
+                    f"schedule step {position} chose transition {index} "
+                    f"but only {len(transitions)} are enabled"
+                )
+        elif chooser:
+            index = chooser(state, transitions)
+        else:
+            index = rng.randrange(len(transitions))
         label, state = transitions[index]
         if isinstance(label, ServicePrimitive):
             chart.events.append(MscEvent("primitive", label, place=label.place))

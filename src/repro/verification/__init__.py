@@ -16,11 +16,16 @@ exact observation congruence for finite-state systems, bounded weak-trace
 equivalence otherwise.
 """
 
-from repro.verification.checker import VerificationReport, verify_derivation
+from repro.verification.checker import (
+    VerificationReport,
+    safety_report,
+    verify_derivation,
+)
 from repro.verification.composition import compose_term, message_alphabet
 
 __all__ = [
     "VerificationReport",
+    "safety_report",
     "verify_derivation",
     "compose_term",
     "message_alphabet",

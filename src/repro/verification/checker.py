@@ -23,6 +23,8 @@ from repro.lotos.events import Label
 from repro.lotos.lts import LTS, build_lts
 from repro.lotos.equivalence import observationally_congruent, weak_bisimilar
 from repro.lotos.semantics import Semantics
+from repro.obs.metrics import get_registry
+from repro.obs.spans import get_tracer
 from repro.lotos.syntax import Disable, Specification
 from repro.lotos.traces import (
     format_trace,
@@ -132,6 +134,7 @@ def verify_derivation(
        congruence exactly;
     3. otherwise compare weak traces up to ``trace_depth``.
     """
+    tracer = get_tracer()
     result = service if isinstance(service, DerivationResult) else derive_protocol(service)
     has_disable = _service_has_disable(result.prepared)
 
@@ -164,12 +167,14 @@ def verify_derivation(
         # on ever-deeper terms before falling back anyway.
         service_lts = system_lts = None
     else:
-        service_lts = _try_build(service_root, service_semantics, budget)
-        system_lts = _try_build(system.initial, system, budget)
-        if system_lts is not None:
-            from repro.lotos.reduction import compress_tau_chains
+        with tracer.span("verify.service_lts"):
+            service_lts = _try_build(service_root, service_semantics, budget)
+        with tracer.span("verify.system_lts"):
+            system_lts = _try_build(system.initial, system, budget)
+            if system_lts is not None:
+                from repro.lotos.reduction import compress_tau_chains
 
-            system_lts = compress_tau_chains(system_lts)
+                system_lts = compress_tau_chains(system_lts)
         if (
             service_lts is not None
             and system_lts is not None
@@ -178,11 +183,30 @@ def verify_derivation(
         ):
             service_lts = system_lts = None  # still too large to saturate
 
+    registry = get_registry()
     if service_lts is not None and system_lts is not None:
-        equivalent = weak_bisimilar(service_lts, system_lts)
-        congruent = (
-            observationally_congruent(service_lts, system_lts) if equivalent else False
-        )
+        with tracer.span(
+            "verify.compare",
+            method="weak-bisimulation",
+            service_states=service_lts.num_states,
+            system_states=system_lts.num_states,
+        ):
+            equivalent = weak_bisimilar(service_lts, system_lts)
+            congruent = (
+                observationally_congruent(service_lts, system_lts)
+                if equivalent
+                else False
+            )
+        registry.gauge(
+            "verify.service_states", help="service LTS size at the check"
+        ).set(service_lts.num_states)
+        registry.gauge(
+            "verify.system_states",
+            help="composed-system LTS size (tau-compressed)",
+        ).set(system_lts.num_states)
+        registry.counter(
+            "verify.checks", help="theorem checks by method"
+        ).inc(method="weak-bisimulation")
         report = VerificationReport(
             method="weak-bisimulation",
             equivalent=equivalent,
@@ -203,8 +227,14 @@ def verify_derivation(
             )
         return report
 
-    equivalent, witness = weak_trace_equivalent(
-        service_root, service_semantics, system.initial, system, trace_depth
+    with tracer.span(
+        "verify.compare", method="bounded-traces", depth=trace_depth
+    ):
+        equivalent, witness = weak_trace_equivalent(
+            service_root, service_semantics, system.initial, system, trace_depth
+        )
+    registry.counter("verify.checks", help="theorem checks by method").inc(
+        method="bounded-traces"
     )
     report = VerificationReport(
         method="bounded-traces",

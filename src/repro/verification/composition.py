@@ -170,9 +170,22 @@ def compose_term(
     ``Semantics(process_environment, bind_occurrences=False)`` — all
     occurrences are already concrete after inlining.
     """
-    closed, triples = message_alphabet(entities)
-    if not closed:
-        raise VerificationError("no entities to compose")
+    from repro.obs.metrics import get_registry
+    from repro.obs.spans import get_tracer
+
+    with get_tracer().span("compose.term", entities=len(entities)) as span:
+        closed, triples = message_alphabet(entities)
+        if not closed:
+            raise VerificationError("no entities to compose")
+        span.set(alphabet=len(triples))
+        registry = get_registry()
+        registry.gauge(
+            "compose.alphabet_size",
+            help="(sender, receiver, message) triples in G",
+        ).set(len(triples))
+        registry.gauge(
+            "compose.channels", help="ordered place pairs with traffic"
+        ).set(len({(src, dest) for src, dest, _ in triples}))
 
     gate_set: Set[Event] = set()
     per_channel: Dict[Tuple[int, int], List[object]] = {}

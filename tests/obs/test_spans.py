@@ -1,0 +1,162 @@
+"""Tracer mechanics: nesting, attributes, exporters, zero-cost no-op."""
+
+import pytest
+
+from repro.obs.spans import (
+    NULL_SPAN,
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    traced,
+    use_tracer,
+)
+from repro.obs.schema import validate_trace
+
+
+class TestNesting:
+    def test_children_attach_to_the_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                pass
+        assert [root.name for root in tracer.roots] == ["outer"]
+        assert [c.name for c in tracer.roots[0].children] == [
+            "inner.a",
+            "inner.b",
+        ]
+
+    def test_sequential_roots_form_a_forest(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_durations_are_monotone(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, = tracer.roots
+        assert outer.end is not None
+        assert outer.duration >= outer.children[0].duration >= 0
+
+
+class TestAttributes:
+    def test_span_set_records_result_attributes(self):
+        tracer = Tracer()
+        with tracer.span("lts.build", max_states=10) as span:
+            span.set(states=4, truncated=0)
+        span, = tracer.roots
+        assert span.attrs == {"max_states": 10, "states": 4, "truncated": 0}
+
+    def test_exception_marks_the_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        span, = tracer.roots
+        assert span.attrs["error"] == "ValueError"
+        assert span.end is not None
+
+
+class TestExport:
+    def test_to_dict_matches_the_schema(self):
+        tracer = Tracer()
+        with tracer.span("derive", places=[2, 1]):
+            with tracer.span("derive.parse"):
+                pass
+        document = tracer.to_dict()
+        assert document["schema"] == TRACE_SCHEMA
+        assert validate_trace(document) == []
+        derive = document["spans"][0]
+        assert derive["name"] == "derive"
+        assert derive["attrs"]["places"] == ["1", "2"]  # jsonable coercion
+        assert derive["children"][0]["name"] == "derive.parse"
+
+    def test_render_shows_tree_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("a") as span:
+            span.set(n=3)
+            with tracer.span("b"):
+                pass
+        text = tracer.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("a  ") and "[n=3]" in lines[0]
+        assert lines[1].startswith("  b  ")
+
+    def test_empty_tracer_renders_placeholder(self):
+        assert Tracer().render() == "(no spans recorded)"
+
+
+class TestActiveTracer:
+    def test_default_is_the_null_tracer(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_the_previous_one(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_returns_the_previous_one(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert previous is NULL_TRACER
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+
+    def test_traced_decorator_uses_the_tracer_active_at_call_time(self):
+        @traced("work.unit")
+        def unit():
+            return 41
+
+        assert unit() == 41  # disabled: plain call, no recording
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert unit() == 41
+        assert [root.name for root in tracer.roots] == ["work.unit"]
+
+
+class TestNoOpIsFree:
+    def test_null_span_is_one_shared_singleton(self):
+        assert NULL_TRACER.span("anything", key="value") is NULL_SPAN
+        assert NULL_TRACER.span("other") is NULL_SPAN
+
+    def test_disabled_path_never_reads_the_clock(self, monkeypatch):
+        """The crisp zero-cost property: no perf_counter call when off.
+
+        Every instrumentation site in the pipeline goes through the
+        active tracer; with the null tracer installed a clock read would
+        only come from a bug in the no-op path.
+        """
+
+        def exploding_clock():
+            raise AssertionError("perf_counter read on the disabled path")
+
+        monkeypatch.setattr("repro.obs.spans._perf_counter", exploding_clock)
+        from repro.core.generator import derive_protocol
+
+        result = derive_protocol("SPEC a1; exit >> b2; exit ENDSPEC")
+        assert result.places == [1, 2]
+
+    def test_enabled_path_does_read_the_clock(self, monkeypatch):
+        """Counterpart: the same monkeypatch trips once tracing is on."""
+
+        def exploding_clock():
+            raise AssertionError("clock")
+
+        from repro.core.generator import derive_protocol
+
+        tracer = Tracer()  # constructed before the clock is broken
+        monkeypatch.setattr("repro.obs.spans._perf_counter", exploding_clock)
+        with use_tracer(tracer):
+            with pytest.raises(AssertionError, match="clock"):
+                derive_protocol("SPEC a1; exit >> b2; exit ENDSPEC")

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.generator import derive_protocol
+from repro.runtime.executor import random_run, replay
 from repro.runtime.msc import record_schedule
 from repro.runtime.system import build_system
 
@@ -41,6 +42,56 @@ class TestRecording:
         first = record_schedule(pipeline_system, seed=7)
         second = record_schedule(pipeline_system, seed=7)
         assert first.render() == second.render()
+
+
+class TestScheduleReplay:
+    """An MSC drawn from a Run's recorded schedule is the run's chart."""
+
+    def test_recorded_schedule_matches_the_seeded_chart(self, pipeline_system):
+        run = random_run(pipeline_system, seed=11, max_steps=50)
+        seeded = record_schedule(pipeline_system, seed=11, max_steps=50)
+        replayed = record_schedule(pipeline_system, schedule=run.schedule)
+        assert replayed.render() == seeded.render()
+
+    def test_schedule_replay_matches_executor_replay(self, pipeline_system):
+        """The chart and the executor agree on what the schedule does."""
+        run = random_run(pipeline_system, seed=4, max_steps=50)
+        again = replay(pipeline_system, run.schedule)
+        chart = record_schedule(pipeline_system, schedule=run.schedule)
+        primitives = [
+            event.label for event in chart.events if event.kind == "primitive"
+        ]
+        assert primitives == list(again.observable) == list(run.observable)
+        sends = sum(1 for event in chart.events if event.kind == "send")
+        assert sends == run.messages_sent
+
+    def test_schedule_and_chooser_are_mutually_exclusive(
+        self, pipeline_system
+    ):
+        with pytest.raises(ValueError, match="not both"):
+            record_schedule(
+                pipeline_system, schedule=[0], chooser=lambda s, t: 0
+            )
+
+    def test_misfitting_schedule_raises_index_error(self, pipeline_system):
+        with pytest.raises(IndexError, match="schedule step"):
+            record_schedule(pipeline_system, schedule=[99])
+
+    def test_example3_run_chart_is_reproducible(self):
+        from repro import workloads
+
+        result = derive_protocol(workloads.EXAMPLE3_FILE_TRANSFER)
+        system = build_system(
+            result.entities,
+            hide=False,
+            discipline="selective",
+            require_empty_at_exit=False,
+        )
+        run = random_run(system, seed=2, max_steps=200)
+        chart = record_schedule(system, schedule=run.schedule)
+        assert chart.render() == record_schedule(
+            system, seed=2, max_steps=200
+        ).render()
 
 
 class TestRendering:
