@@ -1,0 +1,100 @@
+"""Batch-subsystem benchmarks: serial vs worker-pool vs warm cache.
+
+The paper's derivation is one independent ``T_p`` per place, so a
+corpus run is embarrassingly parallel; these benchmarks put numbers on
+the three claims ``repro.batch`` makes — a pool beats serial wall-clock
+on multi-core hardware, the cache makes repeat runs ~free, and neither
+mode changes a single output byte.  The wall-times flow through the
+``--bench-json`` reporter into the CI bench-gate.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import workloads
+from repro.batch import EntityCache, corpus_from_texts, run_batch
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+PIPELINE_CORPUS = corpus_from_texts(workloads.pipeline_corpus(8))
+FAN_OUT_CORPUS = corpus_from_texts(workloads.fan_out_join_corpus(8))
+
+
+@pytest.mark.parametrize("workers", [0, 2, 4])
+def test_batch_pipeline_corpus(benchmark, workers):
+    outcome = benchmark.pedantic(
+        run_batch,
+        args=(PIPELINE_CORPUS,),
+        kwargs={"workers": workers},
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.ok
+
+
+@pytest.mark.parametrize("workers", [0, 2, 4])
+def test_batch_fan_out_join_corpus(benchmark, workers):
+    outcome = benchmark.pedantic(
+        run_batch,
+        args=(FAN_OUT_CORPUS,),
+        kwargs={"workers": workers},
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.ok
+
+
+def test_batch_warm_cache_speedup(benchmark, tmp_path):
+    """A fully-warm cache run: zero derivations, pure disk reads."""
+    corpus = corpus_from_texts(workloads.synthetic_corpus(8))
+    cache = EntityCache(tmp_path / "cache")
+    primed = run_batch(corpus, workers=0, cache=cache)
+    assert primed.ok
+
+    outcome = benchmark(run_batch, corpus, workers=0, cache=cache)
+    assert outcome.summary["totals"]["derivations"] == 0
+    assert outcome.entities == primed.entities
+
+
+def test_batch_per_place_fanout(benchmark):
+    """Split mode (one task per place) over the fan-out corpus."""
+    outcome = benchmark.pedantic(
+        run_batch,
+        args=(FAN_OUT_CORPUS,),
+        kwargs={"workers": 2, "split_bytes": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.ok
+
+
+@pytest.mark.skipif(
+    _cores() < 4, reason="needs >= 4 cores to demonstrate the speedup"
+)
+def test_four_worker_cold_run_beats_serial():
+    """Acceptance: a 4-worker cold run on a 16-spec synthetic corpus
+    beats serial wall-clock — with byte-identical entity output."""
+    corpus = corpus_from_texts(workloads.synthetic_corpus(16))
+
+    start = time.perf_counter()
+    serial = run_batch(corpus, workers=0)
+    serial_s = time.perf_counter() - start
+    assert serial.ok
+
+    start = time.perf_counter()
+    parallel = run_batch(corpus, workers=4)
+    parallel_s = time.perf_counter() - start
+    assert parallel.ok
+
+    assert parallel.entities == serial.entities
+    assert parallel_s < serial_s, (
+        f"4 workers took {parallel_s:.3f}s vs serial {serial_s:.3f}s"
+    )

@@ -1,0 +1,232 @@
+"""Compare a ``--bench-json`` run against the committed baseline.
+
+The CI ``bench-gate`` job runs::
+
+    pytest benchmarks/ --benchmark-disable --bench-json=bench.json
+    python benchmarks/compare_bench.py bench.json
+
+and fails when any benchmark's median wall-time regresses more than
+``--threshold`` times (default 2x) over ``benchmarks/baseline_bench.json``.
+Medians: a nodeid may appear several times in one document (rerun
+sessions concatenated by tooling); per-nodeid samples are reduced to
+their median before comparing, so one outlier sample cannot flip the
+verdict either way.
+
+Shared-runner clocks are noisy, so two guards keep the gate honest:
+
+* the ratio test only arms once a benchmark costs at least
+  ``--min-seconds`` (default 0.05s) in either run — sub-millisecond
+  benchmarks jitter far beyond 2x without any code change;
+* new benchmarks (no baseline entry) and retired ones (no current
+  entry) are reported but never fail the gate — the baseline update
+  procedure below handles them.
+
+A delta table goes to stdout and, when ``$GITHUB_STEP_SUMMARY`` is set,
+to the job summary as GitHub-flavored markdown.
+
+Updating the baseline (after an intentional perf change or when adding
+benchmarks)::
+
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-disable \
+        --bench-json=bench.json
+    python benchmarks/compare_bench.py bench.json --update
+
+then commit ``benchmarks/baseline_bench.json`` with a line in
+CHANGES.md saying why the envelope moved.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import statistics
+import sys
+from typing import Dict, List, Optional
+
+DEFAULT_BASELINE = pathlib.Path(__file__).parent / "baseline_bench.json"
+
+
+def load_medians(path: pathlib.Path) -> Dict[str, float]:
+    document = json.loads(path.read_text(encoding="utf-8"))
+    try:
+        from repro.obs.schema import validate_bench
+
+        problems = validate_bench(document)
+        if problems:
+            raise SystemExit(
+                f"{path}: not a valid repro.obs.bench/v1 document:\n  "
+                + "\n  ".join(problems)
+            )
+    except ImportError:  # repro not importable: structural trust
+        pass
+    samples: Dict[str, List[float]] = {}
+    for entry in document["benchmarks"]:
+        if entry.get("outcome") == "passed":
+            samples.setdefault(entry["nodeid"], []).append(
+                float(entry["wall_time_s"])
+            )
+    return {
+        nodeid: statistics.median(times)
+        for nodeid, times in samples.items()
+    }
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float,
+    min_seconds: float,
+) -> List[dict]:
+    rows = []
+    for nodeid in sorted(set(baseline) | set(current)):
+        base = baseline.get(nodeid)
+        now = current.get(nodeid)
+        if base is None:
+            verdict = "new"
+        elif now is None:
+            verdict = "retired"
+        elif (
+            now > base * threshold
+            and max(now, base) >= min_seconds
+        ):
+            verdict = "REGRESSION"
+        else:
+            verdict = "ok"
+        rows.append(
+            {
+                "nodeid": nodeid,
+                "baseline_s": base,
+                "current_s": now,
+                "ratio": (now / base) if base and now else None,
+                "verdict": verdict,
+            }
+        )
+    return rows
+
+
+def _fmt(value: Optional[float], pattern: str = "{:.4f}") -> str:
+    return pattern.format(value) if value is not None else "—"
+
+
+def render_table(rows: List[dict], markdown: bool) -> str:
+    header = ["benchmark", "baseline (s)", "current (s)", "ratio", "verdict"]
+    body = [
+        [
+            row["nodeid"],
+            _fmt(row["baseline_s"]),
+            _fmt(row["current_s"]),
+            _fmt(row["ratio"], "{:.2f}x"),
+            row["verdict"],
+        ]
+        for row in rows
+    ]
+    if markdown:
+        lines = [
+            "| " + " | ".join(header) + " |",
+            "|" + "|".join("---" for _ in header) + "|",
+        ]
+        lines += ["| " + " | ".join(cells) + " |" for cells in body]
+        return "\n".join(lines)
+    widths = [
+        max(len(str(cells[i])) for cells in [header] + body)
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(str(cells[i]).ljust(widths[i]) for i in range(len(header)))
+        for cells in [header] + body
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail CI when a benchmark's median wall-time "
+        "regresses past the committed baseline envelope.",
+    )
+    parser.add_argument("current", help="bench.json produced by --bench-json")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="committed baseline (default %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when current median > threshold * baseline median "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        help="ignore regressions where both medians sit under this "
+        "noise floor (default %(default)s)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current run and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    current_path = pathlib.Path(args.current)
+    if args.update:
+        pathlib.Path(args.baseline).write_text(
+            current_path.read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        print(f"baseline updated from {current_path}")
+        return 0
+
+    baseline_path = pathlib.Path(args.baseline)
+    if not baseline_path.exists():
+        raise SystemExit(
+            f"no baseline at {baseline_path}; seed one with --update"
+        )
+    baseline = load_medians(baseline_path)
+    current = load_medians(current_path)
+    rows = compare(baseline, current, args.threshold, args.min_seconds)
+
+    print(render_table(rows, markdown=False))
+    regressions = [row for row in rows if row["verdict"] == "REGRESSION"]
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write("## Benchmark gate\n\n")
+            handle.write(
+                f"{len(rows)} benchmarks, {len(regressions)} regression(s) "
+                f"at threshold {args.threshold}x "
+                f"(noise floor {args.min_seconds}s)\n\n"
+            )
+            handle.write(render_table(rows, markdown=True))
+            handle.write("\n")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
+            f"{args.threshold}x the baseline median:",
+            file=sys.stderr,
+        )
+        for row in regressions:
+            print(
+                f"  {row['nodeid']}: {row['baseline_s']:.4f}s -> "
+                f"{row['current_s']:.4f}s ({row['ratio']:.2f}x)",
+                file=sys.stderr,
+            )
+        print(
+            "If intentional, refresh the envelope: "
+            "python benchmarks/compare_bench.py bench.json --update "
+            "(see docs/batch.md).",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"\nOK: {len(rows)} benchmarks within {args.threshold}x of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""The corpus model: named service specifications plus per-spec options.
+
+A corpus on disk is a directory of ``*.lotos`` files, optionally
+described by a ``manifest.json`` mapping spec name to derivation
+options — exactly the shape ``tests/goldens/manifest.json`` has used
+since the golden corpus was recorded::
+
+    {
+      "example2_counting": {},
+      "mixed_choice_veto": {"mixed_choice": true}
+    }
+
+Without a manifest, every ``*.lotos`` file in the directory is a corpus
+member with default options.  Names are spec-relative (the manifest key
+/ file stem, never an absolute path), so cache keys, batch summaries
+and CI artifacts are machine-independent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.generator import normalize_options
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class SpecCase:
+    """One corpus member: a named specification text plus its options."""
+
+    name: str
+    text: str
+    options: Mapping[str, bool] = field(default_factory=dict)
+    path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "options", normalize_options(self.options))
+
+
+def load_corpus(
+    root: os.PathLike | str,
+    manifest: Optional[os.PathLike | str] = None,
+) -> List[SpecCase]:
+    """Load a corpus directory (manifest-driven when one is present).
+
+    ``manifest`` overrides the default ``<root>/manifest.json``; pass a
+    path outside ``root`` to slice one corpus several ways.  A manifest
+    entry without its ``.lotos`` file is an error — silently deriving a
+    subset would defeat the point of a manifest.
+    """
+    root = pathlib.Path(root)
+    if not root.is_dir():
+        raise FileNotFoundError(f"corpus root {root} is not a directory")
+    manifest_path = (
+        pathlib.Path(manifest) if manifest else root / MANIFEST_NAME
+    )
+    cases: List[SpecCase] = []
+    if manifest_path.exists():
+        entries: Dict[str, Any] = json.loads(manifest_path.read_text())
+        for name in sorted(entries):
+            spec_path = root / f"{name}.lotos"
+            if not spec_path.exists():
+                raise FileNotFoundError(
+                    f"manifest names {name!r} but {spec_path} does not exist"
+                )
+            cases.append(
+                SpecCase(
+                    name=name,
+                    text=spec_path.read_text(encoding="utf-8"),
+                    options=entries[name] or {},
+                    path=str(spec_path),
+                )
+            )
+    else:
+        for spec_path in sorted(root.glob("*.lotos")):
+            cases.append(
+                SpecCase(
+                    name=spec_path.stem,
+                    text=spec_path.read_text(encoding="utf-8"),
+                    path=str(spec_path),
+                )
+            )
+    if not cases:
+        raise FileNotFoundError(f"no specifications found under {root}")
+    return cases
+
+
+def corpus_from_texts(
+    pairs: Iterable[Tuple[str, str]],
+    options: Optional[Mapping[str, Any]] = None,
+) -> List[SpecCase]:
+    """Build an in-memory corpus from ``(name, text)`` pairs — the shape
+    :mod:`repro.workloads` corpus generators produce."""
+    cases = [
+        SpecCase(name=name, text=text, options=options or {})
+        for name, text in pairs
+    ]
+    if not cases:
+        raise ValueError("empty corpus")
+    names = [case.name for case in cases]
+    if len(set(names)) != len(names):
+        raise ValueError("corpus names must be unique")
+    return cases

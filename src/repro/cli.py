@@ -9,6 +9,7 @@
     repro derive service.lotos --trace          # span tree on stderr
     repro derive service.lotos --stats=json     # metrics snapshot on stderr
     repro profile service.lotos                 # consolidated JSON report
+    repro batch corpus/ --workers 4             # parallel, cached corpus run
     repro --version
 
 Diagnostic output (lint warnings, traces, stats, profile digests) goes
@@ -449,7 +450,12 @@ def profile_main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _profile_main(argv: Optional[Sequence[str]] = None) -> int:
-    from repro.obs import profile_spec, render_report, render_report_json
+    from repro.obs import (
+        profile_spec,
+        render_report,
+        render_report_json,
+        spec_display_name,
+    )
 
     args = make_profile_parser().parse_args(argv)
     try:
@@ -464,7 +470,9 @@ def _profile_main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         report = profile_spec(
             text,
-            source="<stdin>" if args.service == "-" else args.service,
+            # Spec-relative: an absolute (temp) path would make reports
+            # and CI artifacts machine-dependent.
+            source=spec_display_name(args.service),
             runs=args.runs,
             seed=args.seed,
             max_steps=args.max_steps,
@@ -480,6 +488,167 @@ def _profile_main(argv: Optional[Sequence[str]] = None) -> int:
     if not args.quiet:
         print(render_report(report), file=sys.stderr)
     return 0
+
+
+# ----------------------------------------------------------------------
+# ``repro batch``
+# ----------------------------------------------------------------------
+def make_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="Derive protocol entities for a whole corpus of "
+        "service specifications — in parallel, with a content-addressed "
+        "on-disk cache so repeat runs never recompute.  Emits one "
+        "repro.obs.batch/v1 summary on stdout; one failing spec never "
+        "aborts the corpus.  See docs/batch.md.",
+    )
+    parser.add_argument(
+        "corpus",
+        help="corpus directory of *.lotos files (a manifest.json of "
+        "{name: options} is honored when present)",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="manifest file to use instead of <corpus>/manifest.json",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes; 0 (default) derives serially in-process",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock budget (pool mode only); an overdue "
+        "task becomes a failure row, not a hung run",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        metavar="DIR",
+        help="entity cache directory (default ./.repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="derive everything; neither read nor write the cache",
+    )
+    parser.add_argument(
+        "--max-cache-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict least-recently-written entries beyond N",
+    )
+    parser.add_argument(
+        "--split-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan out one task per place for specs whose canonical text "
+        "is at least N bytes (default %(default)s)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also write each derived corpus member to "
+        "DIR/<name>.entities.txt",
+    )
+    parser.add_argument(
+        "--indent",
+        type=int,
+        default=2,
+        metavar="N",
+        help="JSON indentation; 0 emits the compact one-line form",
+    )
+    _add_common_flags(parser)
+    return parser
+
+
+def batch_main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _batch_main(argv)
+    except BrokenPipeError:
+        return _broken_pipe_exit()
+
+
+def _batch_main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.batch import EntityCache, load_corpus, run_batch
+    from repro.batch.scheduler import DEFAULT_SPLIT_BYTES
+
+    args = make_batch_parser().parse_args(argv)
+    try:
+        corpus = load_corpus(args.corpus, manifest=args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = (
+        None
+        if args.no_cache
+        else EntityCache(args.cache_dir, max_entries=args.max_cache_entries)
+    )
+    split = (
+        DEFAULT_SPLIT_BYTES if args.split_bytes is None else args.split_bytes
+    )
+    outcome = run_batch(
+        corpus,
+        workers=args.workers,
+        timeout=args.timeout,
+        cache=cache,
+        split_bytes=split,
+    )
+    if args.out:
+        out_dir = os.path.abspath(args.out)
+        os.makedirs(out_dir, exist_ok=True)
+        for name, entities in sorted(outcome.entities.items()):
+            parts = []
+            for place in sorted(entities):
+                parts.append(
+                    f"-- Protocol entity for place {place} " + "-" * 20
+                )
+                parts.append(entities[place].rstrip())
+            with open(
+                os.path.join(out_dir, f"{name}.entities.txt"),
+                "w",
+                encoding="utf-8",
+            ) as handle:
+                handle.write("\n".join(parts) + "\n")
+    indent = args.indent if args.indent > 0 else None
+    print(json.dumps(outcome.summary, indent=indent, sort_keys=True))
+    if not args.quiet:
+        _print_batch_digest(outcome.summary)
+    return 0 if outcome.ok else 1
+
+
+def _print_batch_digest(summary: dict) -> None:
+    totals = summary["totals"]
+    for row in summary["specs"]:
+        status = row["status"]
+        if status == "failed":
+            error = row["error"] or {}
+            detail = f"{error.get('type', '?')}: {error.get('message', '')}"
+        else:
+            detail = f"{len(row['places'])} places"
+        print(
+            f"batch: {row['name']}: {status} [{row['cache']}] "
+            f"{detail} ({row['duration_s'] * 1000:.1f} ms)",
+            file=sys.stderr,
+        )
+    line = (
+        f"batch: {totals['ok']}/{totals['specs']} ok, "
+        f"{totals['cache_hits']} cached, {totals['derivations']} derived, "
+        f"{totals['duration_s']:.2f}s with {summary['workers']} worker(s)"
+    )
+    if summary["degraded"]:
+        line += " [DEGRADED to serial]"
+    print(line, file=sys.stderr)
 
 
 # ----------------------------------------------------------------------
@@ -599,6 +768,7 @@ commands:
   lint      static analysis of a service specification (repro lint --help)
   derive    derive protocol entities, lotos-pg style (repro derive --help)
   profile   derive + verify + run; one JSON report (repro profile --help)
+  batch     parallel, cached derivation of a corpus (repro batch --help)
 
 options:
   --version print the package version and exit
@@ -623,6 +793,8 @@ def repro_main(argv: Optional[Sequence[str]] = None) -> int:
         return main(rest)
     if command == "profile":
         return profile_main(rest)
+    if command == "batch":
+        return batch_main(rest)
     print(f"error: unknown command {command!r}\n{_USAGE}", file=sys.stderr, end="")
     return 2
 

@@ -12,7 +12,7 @@ the ``empty``-elimination of the derived texts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.core.attributes import AttributeTable, evaluate_attributes, number_nodes
 from repro.core.derivation import Deriver
@@ -35,6 +35,44 @@ from repro.lotos.syntax import (
 from repro.lotos.unparse import unparse
 
 ServiceInput = Union[str, Specification]
+
+#: Version tag of the derivation algorithm itself.  It participates in
+#: the content-addressed cache key of :mod:`repro.batch.cache`: bump it
+#: whenever a change alters any derived entity text (simplification
+#: laws, message numbering, operator handling, unparse formatting), so
+#: stale cache entries can never shadow new output.  The golden corpus
+#: (``tests/goldens``) failing is the usual tell that a bump is due.
+ALGORITHM_VERSION = "1"
+
+#: The complete option surface of :class:`ProtocolGenerator`, with the
+#: paper-faithful defaults.  Batch tasks and cache keys canonicalize
+#: against this mapping so that every option — present or defaulted —
+#: contributes to the cache key.
+OPTION_DEFAULTS = {
+    "strict": True,
+    "emit_sync": True,
+    "mixed_choice": False,
+    "subset_1986": False,
+}
+
+
+def normalize_options(options=None) -> Dict[str, bool]:
+    """Merge ``options`` over :data:`OPTION_DEFAULTS`; reject unknowns.
+
+    The result is the canonical, fully-spelled form used both to build
+    a :class:`ProtocolGenerator` and to derive cache keys.
+    """
+    merged = dict(OPTION_DEFAULTS)
+    if options:
+        unknown = sorted(set(options) - set(OPTION_DEFAULTS))
+        if unknown:
+            raise ValueError(
+                f"unknown derivation option(s) {unknown}; "
+                f"known: {sorted(OPTION_DEFAULTS)}"
+            )
+        for name, value in options.items():
+            merged[name] = bool(value)
+    return merged
 
 
 @dataclass
@@ -138,21 +176,7 @@ class ProtocolGenerator:
             with tracer.span("derive.attributes"):
                 attrs = evaluate_attributes(prepared)
             with tracer.span("derive.restrictions"):
-                violations = check_service(prepared, attrs)
-                if self.subset_1986:
-                    from repro.core.restrictions import check_1986_subset
-
-                    violations = check_1986_subset(prepared) + violations
-                if self.mixed_choice:
-                    violations = [
-                        violation
-                        for violation in violations
-                        if not self._handled_by_mixed_choice(
-                            violation, prepared, attrs
-                        )
-                    ]
-                if self.strict:
-                    raise_on_violations(violations)
+                violations = self.admissibility(prepared, attrs)
             deriver = Deriver(
                 prepared,
                 attrs,
@@ -188,6 +212,27 @@ class ProtocolGenerator:
         )
 
 
+    def admissibility(
+        self, prepared: Specification, attrs: AttributeTable
+    ) -> List[Violation]:
+        """The R1-R3/grammar findings for a prepared tree, filtered the
+        way this generator is configured (1986 subset, mixed-choice
+        forgiveness); raises in strict mode."""
+        violations = check_service(prepared, attrs)
+        if self.subset_1986:
+            from repro.core.restrictions import check_1986_subset
+
+            violations = check_1986_subset(prepared) + violations
+        if self.mixed_choice:
+            violations = [
+                violation
+                for violation in violations
+                if not self._handled_by_mixed_choice(violation, prepared, attrs)
+            ]
+        if self.strict:
+            raise_on_violations(violations)
+        return violations
+
     @staticmethod
     def _handled_by_mixed_choice(violation, prepared, attrs) -> bool:
         """R1 violations the arbiter protocol resolves are forgiven."""
@@ -217,6 +262,93 @@ def derive_protocol(
     return ProtocolGenerator(
         strict=strict, emit_sync=emit_sync, mixed_choice=mixed_choice
     ).derive(service)
+
+
+# ----------------------------------------------------------------------
+# Picklable task entry points for :mod:`repro.batch`.
+#
+# Each ``T_p`` projection is independent (the paper applies T_p to the
+# root once per place), so a corpus run can fan out either one task per
+# specification or — for large specifications — one task per place.
+# These functions are module-level, take and return only plain
+# JSON-able values, and build their own tracer/metrics registry, so
+# they cross a ``ProcessPoolExecutor`` boundary without dragging along
+# any process-global state.
+# ----------------------------------------------------------------------
+def derive_task(text: str, options: Optional[Dict[str, bool]] = None) -> Dict:
+    """Derive every protocol entity of one service specification.
+
+    Returns a plain dict: ``places`` (sorted ints), ``entities``
+    (place -> unparse'd text, string keys for JSON round-tripping),
+    ``violations`` / ``sync_fragments`` counts, and the worker's own
+    ``trace`` + ``metrics`` documents.
+    """
+    from repro.obs.metrics import MetricsRegistry, use_registry
+    from repro.obs.spans import Tracer, use_tracer
+
+    opts = normalize_options(options)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_registry(registry):
+        result = ProtocolGenerator(**opts).derive(text)
+    return {
+        "places": [int(place) for place in result.places],
+        "entities": {
+            str(place): result.entity_text(place) for place in result.places
+        },
+        "violations": len(result.violations),
+        "sync_fragments": int(
+            registry.counter("derive.sync_fragments").value()
+        ),
+        "trace": tracer.to_dict(),
+        "metrics": registry.snapshot(),
+    }
+
+
+def list_places_task(
+    text: str, options: Optional[Dict[str, bool]] = None
+) -> Dict:
+    """Prepare one specification and report its places (the paper's ALL)
+    plus the admissibility verdict — the planning step before a
+    per-place fan-out."""
+    opts = normalize_options(options)
+    generator = ProtocolGenerator(**opts)
+    prepared = generator.prepare(parse(text))
+    attrs = evaluate_attributes(prepared)
+    violations = generator.admissibility(prepared, attrs)
+    return {
+        "places": sorted(int(place) for place in attrs.all_places),
+        "violations": len(violations),
+    }
+
+
+def derive_place_task(
+    text: str, place: int, options: Optional[Dict[str, bool]] = None
+) -> Dict:
+    """One ``T_p`` projection: derive only ``place``'s protocol entity.
+
+    Byte-identical to the corresponding entry of :func:`derive_task`:
+    node numbering happens during ``prepare`` and each projection only
+    reads the shared attribute table, so deriving places separately (in
+    any order, in any process) cannot change any entity text.
+    """
+    opts = normalize_options(options)
+    generator = ProtocolGenerator(**opts)
+    prepared = generator.prepare(parse(text))
+    attrs = evaluate_attributes(prepared)
+    generator.admissibility(prepared, attrs)
+    deriver = Deriver(
+        prepared,
+        attrs,
+        emit_sync=opts["emit_sync"],
+        allow_mixed_choice=opts["mixed_choice"],
+    )
+    entity = deriver.derive(place)
+    return {
+        "place": int(place),
+        "text": unparse(entity, compact=True),
+        "sync_fragments": len(deriver.ledger),
+    }
 
 
 def _expand_full_sync(spec: Specification) -> Specification:

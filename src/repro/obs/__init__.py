@@ -43,7 +43,12 @@ from repro.obs.metrics import (
     set_registry,
     use_registry,
 )
-from repro.obs.profile import profile_spec, render_report, render_report_json
+from repro.obs.profile import (
+    profile_spec,
+    render_report,
+    render_report_json,
+    spec_display_name,
+)
 from repro.obs.schema import (
     BENCH_SCHEMA,
     PROFILE_SCHEMA,
@@ -110,6 +115,7 @@ __all__ = [
     "profile_spec",
     "render_report",
     "render_report_json",
+    "spec_display_name",
     "PROFILE_SCHEMA",
     "BENCH_SCHEMA",
     "validate_report",

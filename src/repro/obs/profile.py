@@ -26,6 +26,29 @@ def channel_name(key) -> str:
     return f"{src}->{dest}"
 
 
+def spec_display_name(path: str, root: Optional[str] = None) -> str:
+    """A machine-independent display name for a specification path.
+
+    Reports, cache entries and CI artifacts must not embed absolute
+    (often temp-directory) paths — they differ per machine and per run,
+    which breaks report diffing and key reproducibility.  Relative to
+    ``root`` when given; otherwise an absolute path collapses to its
+    basename and a user-typed relative path is kept as typed.
+    """
+    import os
+
+    if path == "-":
+        return "<stdin>"
+    if root is not None:
+        try:
+            return os.path.relpath(path, root)
+        except ValueError:  # different drive (Windows): fall through
+            pass
+    if os.path.isabs(path):
+        return os.path.basename(path)
+    return path
+
+
 def profile_spec(
     text: str,
     source: str = "<string>",

@@ -1,11 +1,13 @@
 """Dependency-free structural validation of the ``repro.obs`` documents.
 
-Three JSON documents leave this package: the span tree
+Four JSON documents leave this package: the span tree
 (``repro.obs.trace/v1``), the metrics snapshot
-(``repro.obs.metrics/v1``) and the consolidated profile report
-(``repro.obs.profile/v1``).  CI's profile-smoke job and the
-``--bench-json`` dump validate against these shapes before trusting a
-report, and tests pin them so the schemas only change deliberately.
+(``repro.obs.metrics/v1``), the consolidated profile report
+(``repro.obs.profile/v1``) and the corpus batch summary
+(``repro.obs.batch/v1``, produced by :mod:`repro.batch`).  CI's
+profile-smoke, batch-smoke and bench-gate jobs validate against these
+shapes before trusting a report, and tests pin them so the schemas only
+change deliberately.
 
 The validator is a tiny structural checker (no jsonschema dependency):
 each check returns a list of human-readable problem strings, empty when
@@ -21,6 +23,7 @@ from repro.obs.spans import TRACE_SCHEMA
 
 PROFILE_SCHEMA = "repro.obs.profile/v1"
 BENCH_SCHEMA = "repro.obs.bench/v1"
+BATCH_SCHEMA = "repro.obs.batch/v1"
 
 
 def _require(
@@ -192,4 +195,83 @@ def validate_bench(document: Any) -> List[str]:
             problems,
         )
     problems.extend(validate_metrics(document.get("metrics", {}), "bench.metrics"))
+    return problems
+
+
+def validate_batch(document: Any) -> List[str]:
+    """Validate a ``repro batch`` corpus summary (batch/v1)."""
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["batch: not an object"]
+    _require(
+        document,
+        "batch",
+        {
+            "schema": str,
+            "workers": int,
+            "degraded": bool,
+            "specs": list,
+            "totals": dict,
+            "metrics": dict,
+        },
+        problems,
+    )
+    if document.get("schema") != BATCH_SCHEMA:
+        problems.append(f"batch.schema: expected {BATCH_SCHEMA!r}")
+    for index, row in enumerate(document.get("specs", [])):
+        rpath = f"batch.specs[{index}]"
+        if not isinstance(row, dict):
+            problems.append(f"{rpath}: not an object")
+            continue
+        _require(
+            row,
+            rpath,
+            {
+                "name": str,
+                "status": str,
+                "cache": str,
+                "places": list,
+                "tasks": int,
+                "duration_s": (int, float),
+            },
+            problems,
+        )
+        if row.get("status") not in ("ok", "failed"):
+            problems.append(f"{rpath}.status: unknown {row.get('status')!r}")
+        if row.get("cache") not in ("hit", "miss", "off"):
+            problems.append(f"{rpath}.cache: unknown {row.get('cache')!r}")
+        if row.get("status") == "failed":
+            error = row.get("error")
+            if not isinstance(error, dict) or "type" not in error:
+                problems.append(f"{rpath}.error: failed row needs an error")
+    totals = document.get("totals", {})
+    if isinstance(totals, dict):
+        _require(
+            totals,
+            "batch.totals",
+            {
+                "specs": int,
+                "ok": int,
+                "failed": int,
+                "cache_hits": int,
+                "cache_misses": int,
+                "derivations": int,
+                "tasks": int,
+                "duration_s": (int, float),
+            },
+            problems,
+        )
+    cache = document.get("cache")
+    if cache is not None:
+        if not isinstance(cache, dict):
+            problems.append("batch.cache: not an object or null")
+        else:
+            _require(
+                cache,
+                "batch.cache",
+                {"dir": str, "hits": int, "misses": int,
+                 "evictions": int, "entries": int},
+                problems,
+            )
+    problems.extend(validate_metrics(document.get("metrics", {}), "batch.metrics"))
     return problems

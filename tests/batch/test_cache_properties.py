@@ -1,0 +1,43 @@
+"""Property tests for the content address (hypothesis).
+
+The key must be stable under everything the canonicalizer forgives and
+sensitive to everything it keeps.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.batch.cache import cache_key, canonicalize_spec_text
+
+#: Texts shaped like specifications: printable lines with optional mess.
+line = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd", "Zs"),
+        whitelist_characters=";()[]>|",
+    ),
+    max_size=40,
+)
+documents = st.lists(line, min_size=1, max_size=12).map("\n".join)
+
+
+@given(documents)
+def test_canonicalization_is_idempotent(text):
+    once = canonicalize_spec_text(text)
+    assert canonicalize_spec_text(once) == once
+
+
+@given(documents, st.sampled_from(["\n", "\r\n", "  \n", "\t\n", " "]))
+def test_trailing_noise_never_changes_the_key(text, noise):
+    assert cache_key(text + noise) == cache_key(text)
+
+
+@given(documents)
+def test_crlf_and_lf_share_a_key(text):
+    assert cache_key(text.replace("\n", "\r\n")) == cache_key(text)
+
+
+@given(documents, st.booleans(), st.booleans())
+def test_options_partition_the_key_space(text, mixed_choice, emit_sync):
+    options = {"mixed_choice": mixed_choice, "emit_sync": emit_sync}
+    key = cache_key(text, options)
+    flipped = cache_key(text, {**options, "mixed_choice": not mixed_choice})
+    assert key != flipped

@@ -1,0 +1,81 @@
+"""The corpus model: manifest-driven and manifest-less directories."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.batch.manifest import corpus_from_texts, load_corpus
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "goldens"
+
+
+class TestLoadCorpus:
+    def test_goldens_corpus_follows_its_manifest(self):
+        manifest = json.loads((GOLDEN_DIR / "manifest.json").read_text())
+        corpus = load_corpus(GOLDEN_DIR)
+        assert [case.name for case in corpus] == sorted(manifest)
+        by_name = {case.name: case for case in corpus}
+        assert by_name["mixed_choice_veto"].options["mixed_choice"] is True
+        assert by_name["example2_counting"].options["mixed_choice"] is False
+
+    def test_directory_without_manifest_globs_lotos_files(self, tmp_path):
+        (tmp_path / "b.lotos").write_text("SPEC b1; exit ENDSPEC")
+        (tmp_path / "a.lotos").write_text("SPEC a1; exit ENDSPEC")
+        (tmp_path / "notes.txt").write_text("not a spec")
+        corpus = load_corpus(tmp_path)
+        assert [case.name for case in corpus] == ["a", "b"]
+        assert corpus[0].text == "SPEC a1; exit ENDSPEC"
+
+    def test_manifest_naming_a_missing_spec_is_an_error(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"ghost": {}}')
+        with pytest.raises(FileNotFoundError, match="ghost"):
+            load_corpus(tmp_path)
+
+    def test_empty_directory_is_an_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no specifications"):
+            load_corpus(tmp_path)
+
+    def test_missing_directory_is_an_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_corpus(tmp_path / "nowhere")
+
+    def test_explicit_manifest_overrides_the_default(self, tmp_path):
+        (tmp_path / "a.lotos").write_text("SPEC a1; exit ENDSPEC")
+        (tmp_path / "b.lotos").write_text("SPEC b1; exit ENDSPEC")
+        sliced = tmp_path / "slice.json"
+        sliced.write_text('{"a": {"mixed_choice": true}}')
+        corpus = load_corpus(tmp_path, manifest=sliced)
+        assert [case.name for case in corpus] == ["a"]
+        assert corpus[0].options["mixed_choice"] is True
+
+    def test_names_are_spec_relative_not_absolute(self, tmp_path):
+        (tmp_path / "deep.lotos").write_text("SPEC a1; exit ENDSPEC")
+        corpus = load_corpus(tmp_path)
+        assert corpus[0].name == "deep"
+        assert "/" not in corpus[0].name
+
+
+class TestCorpusFromTexts:
+    def test_builds_cases_with_shared_options(self):
+        corpus = corpus_from_texts(
+            [("one", "SPEC a1; exit ENDSPEC")], options={"strict": False}
+        )
+        assert corpus[0].options["strict"] is False
+        assert corpus[0].options["emit_sync"] is True
+
+    def test_duplicate_names_are_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            corpus_from_texts(
+                [("dup", "SPEC a1; exit ENDSPEC"), ("dup", "SPEC b1; exit ENDSPEC")]
+            )
+
+    def test_empty_corpus_is_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            corpus_from_texts([])
+
+    def test_unknown_option_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown derivation option"):
+            corpus_from_texts(
+                [("one", "SPEC a1; exit ENDSPEC")], options={"nope": 1}
+            )

@@ -70,7 +70,9 @@ class TestProfileCommand:
         captured = capsys.readouterr()
         report = json.loads(captured.out)
         assert validate_report(report) == []
-        assert report["source"] == spec_path
+        # spec-relative, never the absolute temp path: reports must be
+        # machine-independent (see repro.obs.spec_display_name)
+        assert report["source"] == "service.lotos"
         assert [row["seed"] for row in report["runs"]] == [3, 4]
         # the digest rides on stderr
         assert "profile of" in captured.err

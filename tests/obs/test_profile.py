@@ -9,6 +9,7 @@ from repro.obs.profile import (
     profile_spec,
     render_report,
     render_report_json,
+    spec_display_name,
 )
 from repro.obs.schema import PROFILE_SCHEMA, validate_report
 
@@ -113,3 +114,23 @@ class TestRendering:
 
 def test_channel_name():
     assert channel_name((1, 2)) == "1->2"
+
+
+class TestSpecDisplayName:
+    def test_absolute_paths_collapse_to_the_basename(self):
+        assert spec_display_name("/tmp/xyz123/service.lotos") == "service.lotos"
+
+    def test_relative_paths_are_kept_as_typed(self):
+        assert (
+            spec_display_name("tests/goldens/example4_sequence.lotos")
+            == "tests/goldens/example4_sequence.lotos"
+        )
+
+    def test_root_relative_naming(self, tmp_path):
+        spec = tmp_path / "corpus" / "deep.lotos"
+        assert spec_display_name(str(spec), root=str(tmp_path)) == (
+            "corpus/deep.lotos"
+        )
+
+    def test_stdin_marker(self):
+        assert spec_display_name("-") == "<stdin>"
