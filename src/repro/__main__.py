@@ -1,0 +1,6 @@
+"""``python -m repro`` — the same dispatcher as the ``repro`` script."""
+
+from repro.cli import repro_main
+
+if __name__ == "__main__":
+    raise SystemExit(repro_main())

@@ -26,7 +26,6 @@ carrying the ``batch.cache.*`` and ``batch.*`` counters.
 from __future__ import annotations
 
 import time
-import traceback
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -34,13 +33,19 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.batch.cache import EntityCache, canonicalize_spec_text
 from repro.batch.manifest import SpecCase
+from repro.batch.workers import (
+    error_document,
+    make_executor,
+    stats_document,
+    timeout_document,
+)
 from repro.core.generator import (
     derive_place_task,
     derive_task,
     list_places_task,
 )
 from repro.obs.metrics import MetricsRegistry, use_registry
-from repro.obs.schema import BATCH_SCHEMA, PROFILE_SCHEMA
+from repro.obs.schema import BATCH_SCHEMA
 from repro.obs.spans import TRACE_SCHEMA
 
 #: Specifications whose canonical text reaches this size fan out one
@@ -176,7 +181,7 @@ def _run_serial(
             rows.append(
                 _row(
                     case.name, "failed", "miss" if cache is not None else "off",
-                    [], 1, time.perf_counter() - started, _error(exc),
+                    [], 1, time.perf_counter() - started, error_document(exc),
                 )
             )
             continue
@@ -198,12 +203,8 @@ def _run_pool(
     executor_factory: Optional[Callable[[int], Any]],
 ) -> bool:
     """Run the cache misses on a pool; returns whether it degraded."""
-    if executor_factory is None:
-        from concurrent.futures import ProcessPoolExecutor
-
-        executor_factory = ProcessPoolExecutor
     degraded = False
-    pool = executor_factory(workers)
+    pool = make_executor(workers, executor_factory)
     try:
         pending: Dict[Future, Tuple[_Pending, str, Optional[int]]] = {}
         states: Dict[str, _Pending] = {}
@@ -236,7 +237,7 @@ def _run_pool(
                 except BrokenProcessPool:
                     raise
                 except Exception as exc:
-                    _fail(state, states, cache, rows, _error(exc))
+                    _fail(state, states, cache, rows, error_document(exc))
                     continue
                 if kind == "plan":
                     state.places = payload["places"]
@@ -302,12 +303,7 @@ def _expire(
         elif now - state.started > timeout:
             future.cancel()
             del pending[future]
-            error = {
-                "type": "TimeoutError",
-                "message": f"task exceeded {timeout}s wall-clock budget",
-                "traceback": "",
-            }
-            _fail(state, states, cache, rows, error)
+            _fail(state, states, cache, rows, timeout_document(timeout))
 
 
 def _fail(
@@ -369,7 +365,7 @@ def _finish(
     if cache is not None and key is not None:
         cache.put(
             key, case.name, dict(case.options), payload["entities"],
-            stats=_stats_document(case.name, payload),
+            stats=stats_document(case.name, payload),
         )
     rows.append(
         _row(
@@ -377,30 +373,6 @@ def _finish(
             payload["places"], tasks, time.perf_counter() - started,
         )
     )
-
-
-def _stats_document(name: str, payload: Dict[str, Any]) -> Dict[str, Any]:
-    """A ``repro.obs.profile/v1`` stats document for one cache entry.
-
-    Batch derivations do not execute or verify, so the runs/medium
-    sections are empty — but keeping the profile shape means one schema
-    validates both ``repro profile`` output and cached batch stats.
-    """
-    return {
-        "schema": PROFILE_SCHEMA,
-        "source": name,
-        "places": payload["places"],
-        "derivation": {
-            "places": len(payload["places"]),
-            "sync_fragments": payload["sync_fragments"],
-            "violations": payload["violations"],
-        },
-        "verification": None,
-        "runs": [],
-        "medium": {"queue_high_water": {}},
-        "trace": payload["trace"],
-        "metrics": payload["metrics"],
-    }
 
 
 def _row(
@@ -420,16 +392,6 @@ def _row(
         "tasks": tasks,
         "duration_s": round(duration_s, 6),
         "error": error,
-    }
-
-
-def _error(exc: BaseException) -> Dict[str, str]:
-    return {
-        "type": type(exc).__name__,
-        "message": str(exc),
-        "traceback": "".join(
-            traceback.format_exception(type(exc), exc, exc.__traceback__)
-        ),
     }
 
 

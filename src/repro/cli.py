@@ -33,6 +33,7 @@ complexity, or executes random schedules::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import sys
@@ -652,6 +653,217 @@ def _print_batch_digest(summary: dict) -> None:
 
 
 # ----------------------------------------------------------------------
+# ``repro serve``
+# ----------------------------------------------------------------------
+def make_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the derivation pipeline as a long-running asyncio "
+        "HTTP service: POST /v1/derive, /v1/lint, /v1/profile (JSON bodies, "
+        "schema repro.serve.request/v1), GET /healthz and /metrics.  "
+        "Bounded admission sheds overload with fast 503s, a warm worker "
+        "pool keeps derivations off the event loop, and repeated specs are "
+        "served from the shared entity cache.  SIGTERM/SIGINT drain "
+        "gracefully.  See docs/serving.md.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8437,
+        help="TCP port; 0 picks a free one (default %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker pool size (default %(default)s)",
+    )
+    parser.add_argument(
+        "--worker-kind", choices=["process", "thread"], default="process",
+        help="process pool (production) or thread pool (tests, benchmarks)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="admitted requests before shedding 503s (default %(default)s)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request worker budget; overdue answers 504 "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-body", type=int, default=1_000_000, metavar="BYTES",
+        help="largest accepted request body (default %(default)s)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="how long shutdown waits for in-flight requests "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="entity cache directory shared with `repro batch` "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="derive every request; neither read nor write the cache",
+    )
+    parser.add_argument(
+        "--max-cache-entries", type=int, default=None, metavar="N",
+        help="evict least-recently-written cache entries beyond N",
+    )
+    _add_common_flags(parser)
+    return parser
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = make_serve_parser().parse_args(argv)
+    from repro.serve.server import ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        worker_kind=args.worker_kind,
+        queue_limit=args.queue_limit,
+        request_timeout=args.timeout,
+        max_body_bytes=args.max_body,
+        drain_timeout=args.drain_timeout,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        max_cache_entries=args.max_cache_entries,
+        access_log=not args.quiet,
+    )
+    try:
+        return asyncio.run(_serve_until_signalled(config, quiet=args.quiet))
+    except KeyboardInterrupt:
+        return 0
+
+
+async def _serve_until_signalled(config, quiet: bool) -> int:
+    import signal
+
+    from repro.serve.server import DerivationServer
+
+    server = DerivationServer(config)
+    await server.start()
+    host, port = server.address
+    if not quiet:
+        print(
+            f"serve: listening on http://{host}:{port} "
+            f"(workers={config.workers}/{config.worker_kind}, "
+            f"queue-limit={config.queue_limit}, "
+            f"cache={'off' if config.cache_dir is None else config.cache_dir})",
+            file=sys.stderr,
+        )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # non-Unix event loops
+            pass
+    await stop.wait()
+    if not quiet:
+        print("serve: draining ...", file=sys.stderr)
+    await server.shutdown()
+    if not quiet:
+        print(server.digest(), file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# ``repro loadgen``
+# ----------------------------------------------------------------------
+def make_loadgen_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro loadgen",
+        description="Closed-loop load generator against a running "
+        "`repro serve`: N connections each send one request at a time "
+        "from a shared budget, and the run emits one repro.obs.loadgen/v1 "
+        "report on stdout (exact latency percentiles, throughput, "
+        "ok/shed/failed counts).  Exit status is 1 when any request "
+        "failed (503 sheds are counted separately and do not fail the "
+        "run).  See docs/serving.md.",
+    )
+    parser.add_argument(
+        "service",
+        help="path to the service specification to request, or '-' for stdin",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="server address (default %(default)s)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8437, help="server port (default %(default)s)"
+    )
+    parser.add_argument(
+        "--op", choices=["derive", "lint", "profile"], default="derive",
+        help="operation to request (default %(default)s)",
+    )
+    parser.add_argument(
+        "--connections", type=int, default=16, metavar="N",
+        help="concurrent closed-loop connections (default %(default)s)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=100, metavar="N",
+        help="total requests across all connections (default %(default)s)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-request client timeout (default %(default)s)",
+    )
+    parser.add_argument(
+        "--mixed-choice", action="store_true",
+        help="request derivation with the arbiter-protocol R1 extension",
+    )
+    parser.add_argument(
+        "--indent", type=int, default=2, metavar="N",
+        help="JSON indentation; 0 emits the compact one-line form",
+    )
+    _add_common_flags(parser)
+    return parser
+
+
+def loadgen_main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _loadgen_main(argv)
+    except BrokenPipeError:
+        return _broken_pipe_exit()
+
+
+def _loadgen_main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.serve.loadgen import render_digest, run_loadgen
+
+    args = make_loadgen_parser().parse_args(argv)
+    try:
+        text = (
+            sys.stdin.read()
+            if args.service == "-"
+            else open(args.service, encoding="utf-8").read()
+        )
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    options = {"mixed_choice": True} if args.mixed_choice else None
+    report = asyncio.run(
+        run_loadgen(
+            args.host,
+            args.port,
+            text,
+            op=args.op,
+            options=options,
+            connections=args.connections,
+            requests=args.requests,
+            timeout=args.timeout,
+        )
+    )
+    indent = args.indent if args.indent > 0 else None
+    print(json.dumps(report, indent=indent, sort_keys=True))
+    if not args.quiet:
+        print(render_digest(report), file=sys.stderr)
+    return 1 if report["failed"] else 0
+
+
+# ----------------------------------------------------------------------
 # ``repro lint``
 # ----------------------------------------------------------------------
 def make_lint_parser() -> argparse.ArgumentParser:
@@ -769,6 +981,8 @@ commands:
   derive    derive protocol entities, lotos-pg style (repro derive --help)
   profile   derive + verify + run; one JSON report (repro profile --help)
   batch     parallel, cached derivation of a corpus (repro batch --help)
+  serve     long-running asyncio derivation server (repro serve --help)
+  loadgen   closed-loop load generator for serve (repro loadgen --help)
 
 options:
   --version print the package version and exit
@@ -795,9 +1009,16 @@ def repro_main(argv: Optional[Sequence[str]] = None) -> int:
         return profile_main(rest)
     if command == "batch":
         return batch_main(rest)
+    if command == "serve":
+        return serve_main(rest)
+    if command == "loadgen":
+        return loadgen_main(rest)
     print(f"error: unknown command {command!r}\n{_USAGE}", file=sys.stderr, end="")
     return 2
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    # The subcommand dispatcher, NOT the bare `derive` parser: running
+    # this file directly must behave exactly like the `repro` script
+    # (`python src/repro/cli.py lint ...` used to hit the wrong parser).
+    raise SystemExit(repro_main())

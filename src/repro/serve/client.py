@@ -1,0 +1,234 @@
+"""Clients for the derivation server.
+
+Two flavors, both standard-library only:
+
+* :class:`ServeClient` — a blocking client over ``http.client`` with
+  one persistent connection; the right tool for scripts, examples and
+  benchmarks;
+* :class:`AsyncServeClient` — an asyncio client over one persistent
+  connection, sharing the server's own wire implementation
+  (:func:`repro.serve.protocol.read_response`); the load generator
+  runs many of these concurrently.
+
+Both speak the versioned envelopes (``repro.serve.request/v1`` in,
+``repro.serve.response/v1`` out).  Transport failures raise
+:class:`ServeError`; HTTP-level failures do *not* raise — the response
+envelope carries ``ok``/``status``/``error`` and callers decide.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.obs.schema import SERVE_REQUEST_SCHEMA
+from repro.serve.protocol import ProtocolError, read_response
+
+
+class ServeError(Exception):
+    """The server could not be reached or broke the wire protocol."""
+
+
+def request_document(
+    spec: str, options: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """One ``repro.serve.request/v1`` body."""
+    document: Dict[str, Any] = {"schema": SERVE_REQUEST_SCHEMA, "spec": spec}
+    if options:
+        document["options"] = dict(options)
+    return document
+
+
+class ServeClient:
+    """Blocking client; one keep-alive connection, reconnects on demand."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8437, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        document: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One round trip; returns ``(status, parsed JSON body)``."""
+        body = (
+            json.dumps(document).encode("utf-8")
+            if document is not None
+            else None
+        )
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (1, 2):  # one reconnect on a stale keep-alive
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                payload = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError) as exc:
+                self.close()
+                if attempt == 2:
+                    raise ServeError(
+                        f"{method} {path} to {self.host}:{self.port} "
+                        f"failed: {exc}"
+                    ) from exc
+        try:
+            parsed = json.loads(payload.decode("utf-8")) if payload else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"non-JSON response body: {exc}") from exc
+        return response.status, parsed
+
+    # ------------------------------------------------------------------
+    def _op(
+        self, op: str, spec: str, options: Optional[Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        _, envelope = self.request(
+            "POST", f"/v1/{op}", request_document(spec, options)
+        )
+        return envelope
+
+    def derive(
+        self, spec: str, options: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Derive; returns the response envelope (check ``ok``)."""
+        return self._op("derive", spec, options)
+
+    def lint(
+        self, spec: str, options: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        return self._op("lint", spec, options)
+
+    def profile(
+        self, spec: str, options: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        return self._op("profile", spec, options)
+
+    def healthz(self) -> Dict[str, Any]:
+        status, document = self.request("GET", "/healthz")
+        if status != 200:
+            raise ServeError(f"/healthz answered {status}")
+        return document
+
+    def metrics(self) -> Dict[str, Any]:
+        status, document = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(f"/metrics answered {status}")
+        return document
+
+
+class AsyncServeClient:
+    """One persistent asyncio connection; the load generator's unit."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, timeout: float = 60.0
+    ) -> "AsyncServeClient":
+        client = cls(host, port, timeout=timeout)
+        await client._ensure_connected()
+        return client
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+            except OSError as exc:
+                raise ServeError(
+                    f"cannot connect to {self.host}:{self.port}: {exc}"
+                ) from exc
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+            self._reader = self._writer = None
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        document: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One round trip; raises :class:`ServeError` on transport failure."""
+        await self._ensure_connected()
+        body = (
+            json.dumps(document).encode("utf-8") if document is not None else b""
+        )
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        try:
+            self._writer.write(head + body)
+            await self._writer.drain()
+            status, headers, payload = await asyncio.wait_for(
+                read_response(self._reader), timeout=self.timeout
+            )
+        except (
+            ProtocolError,
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            OSError,
+        ) as exc:
+            await self.close()
+            raise ServeError(
+                f"{method} {path} to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        try:
+            parsed = json.loads(payload.decode("utf-8")) if payload else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"non-JSON response body: {exc}") from exc
+        return status, parsed
+
+    async def post_op(
+        self,
+        op: str,
+        spec: str,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        return await self.request(
+            "POST", f"/v1/{op}", request_document(spec, options)
+        )

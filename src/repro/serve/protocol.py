@@ -1,0 +1,215 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The derivation server speaks a deliberately small slice of HTTP/1.1 —
+request line + headers + ``Content-Length`` bodies, keep-alive
+connections, no chunked transfer coding, no TLS — parsed and rendered
+here so :mod:`repro.serve.server` deals only in :class:`Request`
+objects and response documents.  Everything is standard-library only.
+
+Limits are enforced while reading, before any body bytes are
+buffered: an oversized declared body is refused with 413 *without*
+reading it, a request line or header block beyond the stream limit is
+a 400, and chunked transfer coding is a 501.  A limit violation raises
+:class:`ProtocolError`, which carries the HTTP status the connection
+handler should answer with before closing.
+
+The same framing is used from the client side
+(:func:`read_response`), so the server, the client and the load
+generator all share one wire implementation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Stream read limit for asyncio; bounds the request line and each
+#: header line (readline past this raises, mapped to a 400).
+STREAM_LIMIT = 64 * 1024
+
+#: Headers per request; more is a 400 (header-bombing guard).
+MAX_HEADERS = 64
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(Exception):
+    """A malformed or over-limit request; carries the HTTP answer."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    version: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json(self) -> Any:
+        """The parsed JSON body; raises :class:`ProtocolError` (400)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(400, f"request body is not valid JSON: {exc}")
+
+
+async def _read_line(reader) -> bytes:
+    """One CRLF (or LF) terminated line, sans terminator."""
+    try:
+        line = await reader.readline()
+    except ValueError:  # over the stream limit
+        raise ProtocolError(400, "request line or header too long")
+    if line and not line.endswith(b"\n"):
+        raise ProtocolError(400, "connection closed mid-line")
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(reader, max_body: int) -> Optional[Request]:
+    """Parse one request off ``reader``; ``None`` on clean EOF.
+
+    ``max_body`` bounds the *declared* ``Content-Length``: an oversized
+    body is refused (413) before a single body byte is read, so a
+    misbehaving client cannot make the server buffer it.
+    """
+    try:
+        raw = await reader.readline()
+    except ValueError:
+        raise ProtocolError(400, "request line too long")
+    if not raw:
+        return None  # clean EOF between requests
+    if not raw.endswith(b"\n"):
+        raise ProtocolError(400, "connection closed mid-request-line")
+    try:
+        request_line = raw.rstrip(b"\r\n").decode("latin-1")
+    except UnicodeDecodeError:
+        raise ProtocolError(400, "undecodable request line")
+    parts = request_line.split()
+    if len(parts) != 3:
+        raise ProtocolError(400, f"malformed request line {request_line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(400, f"unsupported protocol version {version!r}")
+
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if not line:
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise ProtocolError(400, "too many headers")
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator or not name.strip():
+            raise ProtocolError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise ProtocolError(501, "chunked transfer coding is not supported")
+
+    body = b""
+    declared = headers.get("content-length")
+    if declared is not None:
+        try:
+            length = int(declared)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            raise ProtocolError(400, f"bad Content-Length {declared!r}")
+        if length > max_body:
+            raise ProtocolError(
+                413, f"body of {length} bytes exceeds the {max_body}-byte limit"
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except Exception:
+                raise ProtocolError(400, "connection closed mid-body")
+    elif method == "POST":
+        raise ProtocolError(400, "POST without Content-Length")
+    return Request(method=method, target=target, version=version,
+                   headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """One full HTTP/1.1 response, ready to write."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def render_json_response(
+    status: int,
+    document: Any,
+    keep_alive: bool = True,
+    extra_headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+    return render_response(
+        status, body, keep_alive=keep_alive, extra_headers=extra_headers
+    )
+
+
+async def read_response(reader) -> Tuple[int, Dict[str, str], bytes]:
+    """Client side: parse one response into (status, headers, body)."""
+    raw = await reader.readline()
+    if not raw:
+        raise ProtocolError(400, "connection closed before the status line")
+    status_line = raw.rstrip(b"\r\n").decode("latin-1")
+    parts = status_line.split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed status line {status_line!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise ProtocolError(400, f"malformed status {parts[1]!r}")
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if not line:
+            break
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise ProtocolError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return status, headers, body

@@ -1,0 +1,134 @@
+"""HTTP/1.1 framing: parsing, limits, and the shared wire shapes."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    read_request,
+    read_response,
+    render_json_response,
+    render_response,
+)
+
+
+def parse(raw: bytes, max_body: int = 1_000_000):
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body)
+
+    return asyncio.run(main())
+
+
+def frame(
+    method="POST", target="/v1/derive", body=b"{}", headers=()
+) -> bytes:
+    lines = [f"{method} {target} HTTP/1.1", f"Content-Length: {len(body)}"]
+    lines.extend(headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+class TestReadRequest:
+    def test_parses_method_target_headers_and_body(self):
+        request = parse(frame(body=b'{"x": 1}'))
+        assert request.method == "POST"
+        assert request.target == "/v1/derive"
+        assert request.headers["content-length"] == "8"
+        assert request.json() == {"x": 1}
+
+    def test_clean_eof_reads_as_none(self):
+        assert parse(b"") is None
+
+    def test_header_names_are_case_insensitive(self):
+        request = parse(frame(headers=["X-Custom-Header: yes"]))
+        assert request.headers["x-custom-header"] == "yes"
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"NOT A REQUEST\r\n\r\n",
+            b"GET /healthz SPDY/3\r\n\r\n",
+            b"GET\r\n\r\n",
+            b"POST /v1/derive HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"POST /v1/derive HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /v1/derive HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+            b"POST /v1/derive HTTP/1.1\r\n\r\n",  # POST without length
+        ],
+    )
+    def test_malformed_requests_are_400(self, raw):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 400
+
+    def test_truncated_body_is_400(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 400
+
+    def test_oversized_declared_body_is_413_without_reading_it(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n"
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(raw, max_body=100)
+        assert excinfo.value.status == 413
+
+    def test_chunked_transfer_coding_is_501(self):
+        raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 501
+
+    def test_too_many_headers_is_400(self):
+        headers = [f"X-H{i}: {i}" for i in range(100)]
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(frame(headers=headers))
+        assert excinfo.value.status == 400
+
+    def test_invalid_json_body_raises_400_from_json(self):
+        request = parse(frame(body=b"{not json"))
+        with pytest.raises(ProtocolError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+
+class TestKeepAlive:
+    def test_http11_defaults_to_keep_alive(self):
+        assert Request("GET", "/", "HTTP/1.1").keep_alive
+
+    def test_http11_connection_close_wins(self):
+        request = Request(
+            "GET", "/", "HTTP/1.1", headers={"connection": "close"}
+        )
+        assert not request.keep_alive
+
+    def test_http10_defaults_to_close(self):
+        assert not Request("GET", "/", "HTTP/1.0").keep_alive
+
+
+class TestResponses:
+    def test_render_and_read_round_trip(self):
+        raw = render_json_response(200, {"hello": "world"})
+
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            return await read_response(reader)
+
+        status, headers, body = asyncio.run(main())
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert json.loads(body) == {"hello": "world"}
+
+    def test_close_response_carries_connection_close(self):
+        raw = render_response(503, b"{}", keep_alive=False)
+        assert b"Connection: close" in raw
+
+    def test_extra_headers_ride_along(self):
+        raw = render_response(503, b"{}", extra_headers={"Retry-After": "1"})
+        assert b"Retry-After: 1" in raw

@@ -1,0 +1,123 @@
+"""The shared worker-task plumbing (repro.batch.workers)."""
+
+import pytest
+
+from repro.batch.workers import (
+    TASKS,
+    error_document,
+    lint_task,
+    profile_task,
+    run_task,
+    stats_document,
+    timeout_document,
+)
+
+SPEC = "SPEC a1; exit >> b2; exit ENDSPEC"
+
+
+class TestRegistry:
+    def test_every_serve_op_has_a_task(self):
+        from repro.obs.schema import SERVE_OPS
+
+        assert set(SERVE_OPS) <= set(TASKS)
+
+    def test_derive_is_the_batch_entry_point(self):
+        from repro.core.generator import derive_task
+
+        assert TASKS["derive"] is derive_task
+
+
+class TestRunTask:
+    def test_success_envelope(self):
+        settled = run_task("derive", SPEC)
+        assert settled["ok"] is True
+        assert settled["result"]["places"] == [1, 2]
+
+    def test_parse_error_is_a_client_failure(self):
+        settled = run_task("derive", "NOT LOTOS")
+        assert settled == {
+            "ok": False,
+            "kind": "client",
+            "error": settled["error"],
+        }
+        assert settled["error"]["type"] == "ParseError"
+        assert settled["error"]["traceback"]  # kept for the server log
+
+    def test_unknown_option_is_a_client_failure(self):
+        settled = run_task("derive", SPEC, {"frobnicate": 1})
+        assert settled["kind"] == "client"
+        assert settled["error"]["type"] == "ValueError"
+
+    def test_unknown_operation_is_a_client_failure(self):
+        settled = run_task("transmogrify", SPEC)
+        assert settled["kind"] == "client"
+        assert settled["error"]["type"] == "UnknownOperation"
+        assert "derive" in settled["error"]["message"]
+
+    def test_unexpected_exception_is_internal(self, monkeypatch):
+        def explode(text, options=None):
+            raise RuntimeError("worker bug")
+
+        monkeypatch.setitem(TASKS, "derive", explode)
+        settled = run_task("derive", SPEC)
+        assert settled["kind"] == "internal"
+        assert settled["error"]["type"] == "RuntimeError"
+
+    def test_never_raises(self):
+        # even a pathological op name settles into an envelope
+        assert run_task(None, SPEC)["ok"] is False
+
+
+class TestLintTask:
+    def test_returns_the_lint_document(self):
+        document = lint_task(SPEC)
+        assert document["summary"]["errors"] == 0
+        assert document["source"] == "<request>"
+
+    def test_source_and_mixed_choice_options(self):
+        document = lint_task(SPEC, {"source": "my.lotos"})
+        assert document["source"] == "my.lotos"
+
+    def test_unknown_option_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint option"):
+            lint_task(SPEC, {"runs": 3})
+
+
+class TestProfileTask:
+    def test_returns_the_profile_document(self):
+        document = profile_task(SPEC, {"runs": 1})
+        assert document["schema"] == "repro.obs.profile/v1"
+
+    def test_unknown_option_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile option"):
+            profile_task(SPEC, {"frobnicate": True})
+
+    def test_options_are_coerced(self):
+        document = profile_task(SPEC, {"runs": "2"})
+        assert len(document["runs"]) == 2
+
+
+class TestDocuments:
+    def test_error_document_shape(self):
+        try:
+            raise ValueError("boom")
+        except ValueError as exc:
+            document = error_document(exc)
+        assert document["type"] == "ValueError"
+        assert document["message"] == "boom"
+        assert "ValueError: boom" in document["traceback"]
+
+    def test_timeout_document_shape(self):
+        document = timeout_document(2.5)
+        assert document["type"] == "TimeoutError"
+        assert "2.5" in document["message"]
+
+    def test_stats_document_matches_the_profile_schema(self):
+        from repro.obs.schema import validate_report
+
+        payload = run_task("derive", SPEC)["result"]
+        document = stats_document("example", payload)
+        assert validate_report(document) == []
+        assert document["derivation"]["sync_fragments"] == (
+            payload["sync_fragments"]
+        )
