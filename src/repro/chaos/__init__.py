@@ -1,0 +1,50 @@
+"""repro.chaos — deterministic fault injection for the serve/batch stack.
+
+Seeded, reproducible chaos: a :class:`FaultPlan` schedules faults
+(worker kill/stall, handler latency, connection drops, cache
+corruption, pool-spawn failure) at named injection points threaded
+through :mod:`repro.serve` and :mod:`repro.batch`; a
+:class:`ChaosController` makes the decisions and logs every
+injection.  With no controller installed (the default) every
+injection point is one global read and a ``None`` test — zero extra
+work, byte-identical outputs.
+
+The run orchestrator lives in :mod:`repro.chaos.runner` (imported
+lazily by ``repro chaos`` — it drags the whole serve stack in); the
+client-side resilience layer the faults exercise is
+:mod:`repro.serve.resilience`.  See ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.faults import (
+    CHAOS_SCHEMA,
+    POINTS,
+    ChaosController,
+    ChaosError,
+    FaultPlan,
+    FaultSpec,
+    PoolSpawnInjected,
+    WorkerKilled,
+    get_chaos,
+    set_chaos,
+    use_chaos,
+)
+from repro.chaos.plans import BUILTIN_PLANS, get_plan, list_plans
+
+__all__ = [
+    "CHAOS_SCHEMA",
+    "POINTS",
+    "BUILTIN_PLANS",
+    "ChaosController",
+    "ChaosError",
+    "FaultPlan",
+    "FaultSpec",
+    "PoolSpawnInjected",
+    "WorkerKilled",
+    "get_chaos",
+    "set_chaos",
+    "use_chaos",
+    "get_plan",
+    "list_plans",
+]

@@ -1,0 +1,341 @@
+"""Deterministic fault injection for the serve/batch process stack.
+
+The paper's Section 6 treats error recovery at the *model* level (the
+ARQ sublayer in :mod:`repro.medium.lossy`); this module is the same
+idea one layer down, at the *process* level: a seeded, reproducible
+fault schedule injected into the running server, worker pool and cache
+so the resilience layer (:mod:`repro.serve.resilience`) can be proven
+against real faults instead of hoped about.
+
+Three pieces:
+
+* :class:`FaultSpec` — one scheduled fault: a *kind* (worker kill,
+  worker stall, handler latency, connection drop, cache-entry
+  corruption, pool-spawn failure) bound to an injection *point*, fired
+  on a deterministic cadence (``every``/``after``/``max_injections``)
+  or a seeded coin (``probability``);
+* :class:`FaultPlan` — a named, seeded set of faults plus the server
+  overrides it wants (e.g. the stall plan shortens the request
+  timeout so stalls actually expire);
+* :class:`ChaosController` — the live decision maker.  Injection
+  points call :meth:`ChaosController.decide` with their point name;
+  the controller counts the hit, consults the plan, logs every
+  injection it orders, and returns a *directive* dict (or ``None``).
+
+**Disabled mode does zero work.**  The process-wide default is no
+controller at all: every injection point is literally ::
+
+    chaos = get_chaos()
+    if chaos is not None:
+        ...
+
+one module-global read and a ``None`` test — no RNG draw, no dict
+lookup, no clock read — and all outputs stay byte-identical.  The
+test suite enforces this the same way :mod:`repro.obs` enforces zero
+clock reads: it monkeypatches :meth:`ChaosController.decide` to raise
+and runs the whole pipeline with chaos disabled.
+
+Determinism contract: a controller's decisions are a pure function of
+``(plan, sequence of hits per point)``.  Every fault draws from its
+own :class:`random.Random` stream seeded from ``(plan.seed, fault
+index, point, kind)``, and cadence-based faults do not draw at all —
+so the same seed replays the same fault schedule exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+#: Schema tag of one ``repro chaos`` run report.
+CHAOS_SCHEMA = "repro.obs.chaos/v1"
+
+#: Every injection point threaded through the stack, and the fault
+#: kinds it understands.  ``repro lint``'s CI self-check asserts each
+#: point below actually appears in the source — a point with no call
+#: site is dead configuration.
+POINTS: Dict[str, Tuple[str, ...]] = {
+    # consulted by WorkerPool.run / the batch scheduler per task
+    "worker.task": ("worker_kill", "worker_stall"),
+    # consulted by DerivationServer._run_op per admitted op request
+    "server.handler": ("latency",),
+    # consulted by DerivationServer._handle_connection per op response
+    "server.response": ("drop_connection",),
+    # consulted by EntityCache.get per existing entry
+    "cache.read": ("corrupt_entry",),
+    # consulted by WorkerPool._make per executor construction
+    "pool.spawn": ("spawn_fail",),
+}
+
+
+class ChaosError(Exception):
+    """A malformed fault plan or fault specification."""
+
+
+class PoolSpawnInjected(RuntimeError):
+    """An injected executor-construction failure (``pool.spawn``)."""
+
+
+class WorkerKilled(Exception):
+    """An injected worker kill on a thread worker (cannot ``_exit``)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault at one injection point.
+
+    Cadence: the fault fires on eligible hit ``after``, ``after +
+    every``, ``after + 2*every`` ... until ``max_injections`` is
+    spent.  When ``probability`` is set it replaces the cadence with
+    a seeded coin flip per eligible hit (still deterministic per
+    seed).  Kind-specific parameters ride along (``stall_s``,
+    ``latency_ms``, ``drop_bytes``) and are carried into the directive
+    the injection point receives.
+    """
+
+    point: str
+    kind: str
+    every: int = 1
+    after: int = 0
+    max_injections: Optional[int] = None
+    probability: Optional[float] = None
+    stall_s: float = 1.0
+    latency_ms: float = 25.0
+    drop_bytes: int = 20
+
+    def __post_init__(self) -> None:
+        if self.point not in POINTS:
+            raise ChaosError(
+                f"unknown injection point {self.point!r}; "
+                f"known: {sorted(POINTS)}"
+            )
+        if self.kind not in POINTS[self.point]:
+            raise ChaosError(
+                f"fault kind {self.kind!r} does not belong to point "
+                f"{self.point!r}; known there: {list(POINTS[self.point])}"
+            )
+        if self.every < 1:
+            raise ChaosError("every must be >= 1")
+        if self.after < 0:
+            raise ChaosError("after must be >= 0")
+        if self.max_injections is not None and self.max_injections < 1:
+            raise ChaosError("max_injections must be positive (or None)")
+        if self.probability is not None and not 0 < self.probability <= 1:
+            raise ChaosError("probability must be in (0, 1]")
+
+    def directive(self) -> Dict[str, Any]:
+        """The dict an injection point receives when this fault fires."""
+        out: Dict[str, Any] = {"kind": self.kind}
+        if self.kind == "worker_stall":
+            out["stall_s"] = self.stall_s
+        elif self.kind == "latency":
+            out["latency_ms"] = self.latency_ms
+        elif self.kind == "drop_connection":
+            out["drop_bytes"] = self.drop_bytes
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "point": self.point,
+            "kind": self.kind,
+            "every": self.every,
+            "after": self.after,
+            "max_injections": self.max_injections,
+        }
+        if self.probability is not None:
+            out["probability"] = self.probability
+        if self.kind == "worker_stall":
+            out["stall_s"] = self.stall_s
+        elif self.kind == "latency":
+            out["latency_ms"] = self.latency_ms
+        elif self.kind == "drop_connection":
+            out["drop_bytes"] = self.drop_bytes
+        return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded fault schedule plus its server overrides.
+
+    ``server_overrides`` lets a plan carry the serve configuration it
+    needs to be meaningful — the stall plan shortens
+    ``request_timeout`` below its stall so requests actually expire,
+    the cache-corruption plan turns the entity cache on.  The chaos
+    runner applies them unless the operator overrides explicitly.
+    """
+
+    name: str
+    seed: int = 0
+    faults: Tuple[FaultSpec, ...] = ()
+    server_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.faults:
+            raise ChaosError(f"fault plan {self.name!r} schedules no faults")
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return FaultPlan(self.name, seed, self.faults, self.server_overrides)
+
+    def overrides(self) -> Dict[str, Any]:
+        return dict(self.server_overrides)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [fault.to_dict() for fault in self.faults],
+            "server_overrides": dict(self.server_overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "FaultPlan":
+        """Build a plan from its JSON form (``repro chaos --plan-file``)."""
+        try:
+            faults = tuple(
+                FaultSpec(**fault) for fault in document["faults"]
+            )
+            return cls(
+                name=str(document["name"]),
+                seed=int(document.get("seed", 0)),
+                faults=faults,
+                server_overrides=tuple(
+                    dict(document.get("server_overrides") or {}).items()
+                ),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ChaosError(f"malformed fault plan document: {exc}") from exc
+
+
+class ChaosController:
+    """The live, seeded decision maker of one chaos run.
+
+    Thread-safe: worker-pool submissions and the asyncio event loop
+    may consult it concurrently; hit counters and the injection log
+    are guarded by one lock (held only for the decision, never during
+    the fault itself).
+    """
+
+    def __init__(self, plan: FaultPlan, registry: Any = None) -> None:
+        self.plan = plan
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._hits: Dict[str, int] = {}
+        self._fired: List[int] = [0] * len(plan.faults)
+        self._rngs = [
+            random.Random(f"{plan.seed}:{index}:{fault.point}:{fault.kind}")
+            for index, fault in enumerate(plan.faults)
+        ]
+        self.events: List[Dict[str, Any]] = []
+
+    def bind_registry(self, registry: Any) -> None:
+        """Publish ``chaos.*`` metrics into ``registry`` from now on.
+
+        The derivation server binds its own registry here so injected
+        faults show up on ``GET /metrics``.
+        """
+        if self._registry is None:
+            self._registry = registry
+
+    # ------------------------------------------------------------------
+    def decide(self, point: str, **context: Any) -> Optional[Dict[str, Any]]:
+        """Count one hit of ``point``; return a directive or ``None``.
+
+        At most one fault fires per hit (plan order wins); the
+        injection is appended to :attr:`events` and counted as
+        ``chaos.injections{point,kind}``.
+        """
+        with self._lock:
+            hit = self._hits.get(point, 0)
+            self._hits[point] = hit + 1
+            for index, fault in enumerate(self.plan.faults):
+                if fault.point != point or hit < fault.after:
+                    continue
+                if (
+                    fault.max_injections is not None
+                    and self._fired[index] >= fault.max_injections
+                ):
+                    continue
+                if fault.probability is not None:
+                    fire = self._rngs[index].random() < fault.probability
+                else:
+                    fire = (hit - fault.after) % fault.every == 0
+                if not fire:
+                    continue
+                self._fired[index] += 1
+                event = {
+                    "index": len(self.events),
+                    "point": point,
+                    "kind": fault.kind,
+                    "hit": hit,
+                }
+                event.update(
+                    (key, value)
+                    for key, value in context.items()
+                    if isinstance(value, (str, int, float, bool))
+                    and key not in ("index", "point", "kind", "hit")
+                )
+                self.events.append(event)
+                if self._registry is not None:
+                    self._registry.counter(
+                        "chaos.injections",
+                        help="faults actually injected, by point and kind",
+                    ).inc(point=point, kind=fault.kind)
+                return fault.directive()
+        return None
+
+    # ------------------------------------------------------------------
+    def hits(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._hits)
+
+    def injections(self) -> Dict[str, Any]:
+        """The injection section of a ``repro.obs.chaos/v1`` report."""
+        with self._lock:
+            by_point: Dict[str, int] = {}
+            by_kind: Dict[str, int] = {}
+            for event in self.events:
+                by_point[event["point"]] = by_point.get(event["point"], 0) + 1
+                by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
+            return {
+                "total": len(self.events),
+                "by_point": by_point,
+                "by_kind": by_kind,
+                "hits": dict(self._hits),
+                "events": [dict(event) for event in self.events],
+            }
+
+
+# ----------------------------------------------------------------------
+# Process-wide activation (mirrors repro.obs's tracer/registry seams).
+# ----------------------------------------------------------------------
+_active: Optional[ChaosController] = None
+
+
+def get_chaos() -> Optional[ChaosController]:
+    """The active controller, or ``None`` (the default: chaos off)."""
+    return _active
+
+
+def set_chaos(
+    controller: Optional[ChaosController],
+) -> Optional[ChaosController]:
+    """Install ``controller`` process-wide; returns the previous one."""
+    global _active
+    previous = _active
+    _active = controller
+    return previous
+
+
+@contextmanager
+def use_chaos(
+    controller: Optional[ChaosController],
+) -> Iterator[Optional[ChaosController]]:
+    """Scoped :func:`set_chaos`: restores the previous one on exit."""
+    previous = set_chaos(controller)
+    try:
+        yield controller
+    finally:
+        set_chaos(previous)

@@ -1,0 +1,120 @@
+"""The built-in fault plans ``repro chaos`` ships.
+
+Each plan targets one failure mode of the serve/batch stack (plus one
+combined storm) and carries the server overrides that make it
+meaningful.  Cadences are chosen so a default-size burst (dozens of
+requests) sees several injections but the fault budget always runs
+out — the acceptance bar is that a retrying load generator loses
+**zero** requests under every plan here while ``/healthz`` stays
+responsive throughout.
+
+All built-ins use cadence scheduling (``every``/``after``), never
+``probability``, so the fault schedule is a pure function of the hit
+sequence — the same seed and a single-connection burst replay
+byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.chaos.faults import ChaosError, FaultPlan, FaultSpec
+
+
+def _plan(name: str, *faults: FaultSpec, **overrides) -> FaultPlan:
+    return FaultPlan(
+        name=name, faults=tuple(faults),
+        server_overrides=tuple(sorted(overrides.items())),
+    )
+
+
+#: Every named plan; ``repro chaos --list-plans`` prints this table.
+BUILTIN_PLANS: Dict[str, FaultPlan] = {
+    plan.name: plan
+    for plan in (
+        # Kill a worker mid-task: process pools actually die (and are
+        # respawned); thread pools simulate the crash in-envelope.
+        _plan(
+            "worker-kill",
+            FaultSpec("worker.task", "worker_kill",
+                      every=7, after=2, max_injections=3),
+        ),
+        # Stall a worker past the request budget: the request 504s and
+        # the stalled worker slot is abandoned.  The override shortens
+        # the budget below the stall so the timeout actually fires.
+        _plan(
+            "worker-stall",
+            FaultSpec("worker.task", "worker_stall",
+                      every=9, after=1, max_injections=2, stall_s=1.2),
+            request_timeout=0.4,
+        ),
+        # Slow the handler down without failing it: retries must NOT
+        # fire (the request still succeeds), latency percentiles move.
+        _plan(
+            "latency",
+            FaultSpec("server.handler", "latency",
+                      every=3, max_injections=10, latency_ms=40.0),
+        ),
+        # Close the connection after a handful of response bytes: the
+        # client sees a torn read and must reconnect-and-retry.
+        _plan(
+            "drop-conn",
+            FaultSpec("server.response", "drop_connection",
+                      every=5, after=1, max_injections=4, drop_bytes=12),
+        ),
+        # Corrupt cache entries before they are read: the store must
+        # self-heal (corrupt entry -> miss -> re-derive) and the
+        # request must still succeed.  Needs the cache on.
+        _plan(
+            "cache-corrupt",
+            FaultSpec("cache.read", "corrupt_entry",
+                      every=2, max_injections=5),
+            cache=True,
+        ),
+        # Kill a worker AND fail the first respawn attempt: the pool
+        # must survive a spawn failure and come back on the next
+        # request instead of wedging the server.
+        _plan(
+            "spawn-flaky",
+            FaultSpec("worker.task", "worker_kill",
+                      every=6, after=1, max_injections=2),
+            FaultSpec("pool.spawn", "spawn_fail",
+                      every=1, after=1, max_injections=1),
+        ),
+        # Everything at once, lightly: the combined storm.
+        _plan(
+            "mayhem",
+            FaultSpec("worker.task", "worker_kill",
+                      every=11, after=3, max_injections=2),
+            FaultSpec("server.handler", "latency",
+                      every=6, max_injections=4, latency_ms=30.0),
+            FaultSpec("server.response", "drop_connection",
+                      every=9, after=2, max_injections=2, drop_bytes=16),
+        ),
+    )
+}
+
+
+def get_plan(name: str, seed: int = 0) -> FaultPlan:
+    """The built-in plan ``name``, reseeded to ``seed``."""
+    try:
+        plan = BUILTIN_PLANS[name]
+    except KeyError:
+        raise ChaosError(
+            f"unknown fault plan {name!r}; built-ins: {sorted(BUILTIN_PLANS)}"
+        )
+    return plan.with_seed(seed)
+
+
+def list_plans() -> List[str]:
+    """One describing line per built-in plan (``--list-plans``)."""
+    lines = []
+    for name in sorted(BUILTIN_PLANS):
+        plan = BUILTIN_PLANS[name]
+        kinds = ", ".join(
+            f"{fault.kind}@{fault.point}" for fault in plan.faults
+        )
+        overrides = plan.overrides()
+        suffix = f"  [overrides: {overrides}]" if overrides else ""
+        lines.append(f"{name:<14} {kinds}{suffix}")
+    return lines

@@ -1,0 +1,222 @@
+"""The orchestrator behind ``repro chaos``.
+
+One chaos run is: install a :class:`~repro.chaos.faults.ChaosController`
+for the chosen plan, boot an in-process derivation server under it,
+fire a *retrying* load-generator burst at the op endpoints while a
+background probe hammers ``/healthz``, then drain and write one
+``repro.obs.chaos/v1`` report.  The verdict the CI ``chaos-smoke``
+job (and the chaos test suite) asserts on:
+
+* ``lost_requests`` — requests that never landed a 2xx despite the
+  retry budget.  The whole point of the resilience layer is that this
+  is **zero** under every built-in plan;
+* ``server_alive`` — ``/healthz`` answered after the burst (and
+  ``health.failures`` counts any probe that failed *during* it; the
+  control plane is exempt from fault injection by design, so a
+  failure here means the server itself went down).
+
+This module imports the whole serve stack, so it is deliberately NOT
+pulled in by ``repro.chaos``'s ``__init__`` — the injection points
+inside serve/batch import ``repro.chaos`` and must not cycle back.
+
+The run is as deterministic as the plan: built-in plans use cadence
+scheduling only, so with ``connections=1`` the same seed replays the
+same fault schedule and the same per-request outcome classification
+byte-for-byte (the chaos suite pins this).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.chaos.faults import (
+    CHAOS_SCHEMA,
+    ChaosController,
+    ChaosError,
+    FaultPlan,
+    use_chaos,
+)
+from repro.chaos.plans import get_plan
+from repro.serve.client import AsyncServeClient, ServeError
+from repro.serve.loadgen import run_loadgen
+from repro.serve.resilience import RetryPolicy
+from repro.serve.server import DerivationServer, ServeConfig
+
+#: The spec every chaos burst derives (tiny: the faults are the load).
+DEFAULT_SPEC = "SPEC a1; exit >> b2; exit ENDSPEC"
+
+
+def default_retry(plan: FaultPlan) -> RetryPolicy:
+    """The retry policy a chaos burst uses unless told otherwise.
+
+    Generous attempts, tight delays: a chaos run wants to prove
+    recovery, not to wait politely.  Seeded from the plan so the whole
+    run replays.
+    """
+    return RetryPolicy(
+        max_attempts=6,
+        base_delay=0.02,
+        multiplier=2.0,
+        max_delay=0.25,
+        jitter=0.5,
+        seed=plan.seed,
+    )
+
+
+def resolve_plan(name_or_path: str, seed: int = 0) -> FaultPlan:
+    """A built-in plan by name, or a plan document by file path."""
+    path = pathlib.Path(name_or_path)
+    if path.suffix == ".json" or path.exists():
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ChaosError(f"cannot read fault plan {name_or_path!r}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ChaosError(f"fault plan {name_or_path!r} is not JSON: {exc}")
+        return FaultPlan.from_dict(document).with_seed(seed)
+    return get_plan(name_or_path, seed)
+
+
+async def run_chaos(
+    plan: FaultPlan,
+    spec: str = DEFAULT_SPEC,
+    op: str = "derive",
+    connections: int = 4,
+    requests: int = 40,
+    workers: int = 2,
+    worker_kind: str = "thread",
+    retry: Optional[RetryPolicy] = None,
+    request_timeout: float = 10.0,
+    health_interval: float = 0.05,
+) -> Dict[str, Any]:
+    """One full chaos run; returns the ``repro.obs.chaos/v1`` report.
+
+    The server runs in-process (port 0, access log off) with the
+    plan's ``server_overrides`` applied: ``request_timeout`` so stalls
+    actually expire, ``cache: true`` (a temp store) so cache faults
+    have something to corrupt.  The cache is otherwise OFF so every
+    request exercises the worker pool.
+    """
+    if retry is None:
+        retry = default_retry(plan)
+    overrides = plan.overrides()
+    tmp: Optional[tempfile.TemporaryDirectory] = None
+    cache_dir: Optional[str] = None
+    if overrides.get("cache"):
+        tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-cache-")
+        cache_dir = tmp.name
+    config = ServeConfig(
+        host="127.0.0.1",
+        port=0,
+        workers=workers,
+        worker_kind=worker_kind,
+        request_timeout=float(
+            overrides.get("request_timeout", request_timeout)
+        ),
+        cache_dir=cache_dir,
+        access_log=False,
+    )
+
+    health = {"probes": 0, "failures": 0}
+    stop = asyncio.Event()
+
+    async def probe(port: int) -> None:
+        client = AsyncServeClient("127.0.0.1", port, timeout=2.0)
+        try:
+            while not stop.is_set():
+                health["probes"] += 1
+                try:
+                    status, _ = await client.request("GET", "/healthz")
+                    if status != 200:
+                        health["failures"] += 1
+                except ServeError:
+                    health["failures"] += 1
+                try:
+                    await asyncio.wait_for(stop.wait(), health_interval)
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            await client.close()
+
+    controller = ChaosController(plan)
+    try:
+        with use_chaos(controller):
+            server = DerivationServer(config)
+            await server.start()
+            probe_task = asyncio.create_task(probe(server.port))
+            try:
+                loadgen_report = await run_loadgen(
+                    "127.0.0.1",
+                    server.port,
+                    spec,
+                    op=op,
+                    connections=connections,
+                    requests=requests,
+                    timeout=config.request_timeout + 5.0,
+                    retry=retry,
+                )
+            finally:
+                stop.set()
+                await probe_task
+            alive = False
+            client = AsyncServeClient("127.0.0.1", server.port, timeout=2.0)
+            try:
+                status, _ = await client.request("GET", "/healthz")
+                alive = status == 200
+            except ServeError:
+                alive = False
+            finally:
+                await client.close()
+            await server.shutdown()
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    lost = loadgen_report["requests"] - loadgen_report["ok"]
+    return {
+        "schema": CHAOS_SCHEMA,
+        "plan": plan.to_dict(),
+        "injections": controller.injections(),
+        "loadgen": loadgen_report,
+        "health": dict(health),
+        "server": {
+            "respawns": server.pool.respawns,
+            "metrics": server.registry.snapshot(),
+        },
+        "verdict": {
+            "lost_requests": lost,
+            "server_alive": alive,
+            "ok": lost == 0 and alive and health["failures"] == 0,
+        },
+    }
+
+
+def render_digest(report: Dict[str, Any]) -> str:
+    """The stderr one-liner ``repro chaos`` prints."""
+    verdict = report["verdict"]
+    injections = report["injections"]
+    loadgen = report["loadgen"]
+    kinds = ", ".join(
+        f"{kind} x{count}"
+        for kind, count in sorted(injections["by_kind"].items())
+    ) or "none"
+    line = (
+        f"chaos: plan {report['plan']['name']!r} seed "
+        f"{report['plan']['seed']}: {injections['total']} injection(s) "
+        f"({kinds}); {loadgen['ok']}/{loadgen['requests']} ok, "
+        f"{loadgen['retries']} retry(ies), "
+        f"{loadgen['recovered']} recovered, "
+        f"{loadgen['exhausted']} exhausted; "
+    )
+    line += (
+        "verdict: OK"
+        if verdict["ok"]
+        else f"verdict: FAILED ({verdict['lost_requests']} lost, "
+        f"alive={verdict['server_alive']}, "
+        f"health failures={report['health']['failures']})"
+    )
+    return line

@@ -13,7 +13,18 @@ Two flavors, both standard-library only:
 Both speak the versioned envelopes (``repro.serve.request/v1`` in,
 ``repro.serve.response/v1`` out).  Transport failures raise
 :class:`ServeError`; HTTP-level failures do *not* raise — the response
-envelope carries ``ok``/``status``/``error`` and callers decide.
+envelope carries ``ok``/``status``/``error`` and callers decide.  When
+the server sheds with ``Retry-After`` the parsed delay is surfaced as
+``envelope["retry_after"]`` (seconds) so callers — and the retry layer
+— can honor it.
+
+Both clients optionally take a :class:`repro.serve.resilience.RetryPolicy`
+and/or :class:`~repro.serve.resilience.CircuitBreaker`.  Without them
+(the default) behaviour is exactly the pre-resilience single attempt;
+with a policy, retryable statuses (500/503/504) and transport errors
+are retried under backoff and deadline budgets, and the final
+:class:`~repro.serve.resilience.RetryState` is exposed as
+``client.last_retry`` for outcome classification.
 """
 
 from __future__ import annotations
@@ -21,14 +32,30 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import time
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.obs.schema import SERVE_REQUEST_SCHEMA
 from repro.serve.protocol import ProtocolError, read_response
+from repro.serve.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    RetryState,
+    parse_retry_after,
+)
 
 
 class ServeError(Exception):
-    """The server could not be reached or broke the wire protocol."""
+    """The server could not be reached or broke the wire protocol.
+
+    ``retry_after`` carries the server's parsed ``Retry-After`` hint
+    (seconds) when the failure came with one, else ``None``.
+    """
+
+    def __init__(self, message: str, retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 def request_document(
@@ -41,22 +68,43 @@ def request_document(
     return document
 
 
+def _attach_retry_after(
+    parsed: Any, retry_after: Optional[float]
+) -> Optional[float]:
+    """Surface a parsed ``Retry-After`` on the envelope; returns it."""
+    if retry_after is not None and isinstance(parsed, dict):
+        parsed["retry_after"] = retry_after
+    return retry_after
+
+
 class ServeClient:
     """Blocking client; one keep-alive connection, reconnects on demand."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8437, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8437,
+        timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        self.breaker = breaker
+        self.last_retry: Optional[RetryState] = None
+        self._request_index = 0
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------
     def _connect(self) -> http.client.HTTPConnection:
         if self._connection is None:
+            timeout = self.timeout
+            if self.retry is not None and self.retry.per_attempt_timeout:
+                timeout = self.retry.per_attempt_timeout
             self._connection = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
+                self.host, self.port, timeout=timeout
             )
         return self._connection
 
@@ -71,19 +119,15 @@ class ServeClient:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
-    def request(
+    # ------------------------------------------------------------------
+    def _request_once(
         self,
         method: str,
         path: str,
-        document: Optional[Mapping[str, Any]] = None,
-    ) -> Tuple[int, Dict[str, Any]]:
-        """One round trip; returns ``(status, parsed JSON body)``."""
-        body = (
-            json.dumps(document).encode("utf-8")
-            if document is not None
-            else None
-        )
-        headers = {"Content-Type": "application/json"} if body else {}
+        body: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        """One attempt (with the historical stale-keep-alive reconnect)."""
         for attempt in (1, 2):  # one reconnect on a stale keep-alive
             connection = self._connect()
             try:
@@ -102,7 +146,85 @@ class ServeClient:
             parsed = json.loads(payload.decode("utf-8")) if payload else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ServeError(f"non-JSON response body: {exc}") from exc
-        return response.status, parsed
+        retry_after = _attach_retry_after(
+            parsed, parse_retry_after(response.getheader("Retry-After"))
+        )
+        return response.status, parsed, retry_after
+
+    def _guarded_once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        """One attempt through the circuit breaker (if any)."""
+        if self.breaker is not None and not self.breaker.allow():
+            raise CircuitOpenError(
+                f"circuit open for {self.host}:{self.port}"
+            )
+        try:
+            status, parsed, retry_after = self._request_once(
+                method, path, body, headers
+            )
+        except ServeError:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            if status >= 500:
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
+        return status, parsed, retry_after
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        document: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One round trip; returns ``(status, parsed JSON body)``.
+
+        With a :class:`RetryPolicy` installed, retryable statuses and
+        transport errors are retried under backoff until the policy's
+        budgets run out; the final journey is ``self.last_retry``.
+        """
+        body = (
+            json.dumps(document).encode("utf-8")
+            if document is not None
+            else None
+        )
+        headers = {"Content-Type": "application/json"} if body else {}
+        if self.retry is None:
+            status, parsed, _ = self._guarded_once(method, path, body, headers)
+            return status, parsed
+        self._request_index += 1
+        state = self.retry.start(seed_offset=self._request_index)
+        self.last_retry = state
+        while True:
+            error: Optional[ServeError] = None
+            status: Optional[int] = None
+            parsed: Dict[str, Any] = {}
+            retry_after: Optional[float] = None
+            try:
+                status, parsed, retry_after = self._guarded_once(
+                    method, path, body, headers
+                )
+            except ServeError as exc:
+                error = exc
+                retry_after = exc.retry_after
+            state.record_attempt(status)
+            if error is None and not self.retry.retryable_status(status):
+                state.finish(recovered=state.retried and status < 400)
+                return status, parsed
+            delay = state.next_delay(retry_after)
+            if delay is None:  # budget spent: exhausted
+                state.finish(recovered=False)
+                if error is not None:
+                    raise error
+                return status, parsed
+            time.sleep(delay)
 
     # ------------------------------------------------------------------
     def _op(
@@ -145,31 +267,45 @@ class ServeClient:
 class AsyncServeClient:
     """One persistent asyncio connection; the load generator's unit."""
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        self.breaker = breaker
+        self.last_retry: Optional[RetryState] = None
+        self._request_index = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, timeout: float = 60.0
+        cls, host: str, port: int, timeout: float = 60.0, **kwargs: Any
     ) -> "AsyncServeClient":
-        client = cls(host, port, timeout=timeout)
+        client = cls(host, port, timeout=timeout, **kwargs)
         await client._ensure_connected()
         return client
 
-    async def _ensure_connected(self) -> None:
-        if self._writer is None or self._writer.is_closing():
-            try:
-                self._reader, self._writer = await asyncio.open_connection(
-                    self.host, self.port
-                )
-            except OSError as exc:
-                raise ServeError(
-                    f"cannot connect to {self.host}:{self.port}: {exc}"
-                ) from exc
+    async def _ensure_connected(self) -> bool:
+        """Connect if needed; returns True when the link was *reused*."""
+        if self._writer is not None and not self._writer.is_closing():
+            return True
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        except OSError as exc:
+            raise ServeError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        return False
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -180,17 +316,20 @@ class AsyncServeClient:
                 pass
             self._reader = self._writer = None
 
-    async def request(
+    # ------------------------------------------------------------------
+    async def _request_once(
         self,
         method: str,
         path: str,
-        document: Optional[Mapping[str, Any]] = None,
-    ) -> Tuple[int, Dict[str, Any]]:
-        """One round trip; raises :class:`ServeError` on transport failure."""
-        await self._ensure_connected()
-        body = (
-            json.dumps(document).encode("utf-8") if document is not None else b""
-        )
+        body: bytes,
+    ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        """One attempt; a *reused* connection that died gets one
+        reconnect-and-resend before the attempt fails.
+
+        The server drains and restarts between our requests more often
+        than one would hope; the EOF only shows up when we try the
+        kept-alive socket.  A fresh connection failing is a real error.
+        """
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
@@ -198,30 +337,114 @@ class AsyncServeClient:
             f"Content-Length: {len(body)}\r\n"
             f"\r\n"
         ).encode("latin-1")
-        try:
-            self._writer.write(head + body)
-            await self._writer.drain()
-            status, headers, payload = await asyncio.wait_for(
-                read_response(self._reader), timeout=self.timeout
-            )
-        except (
-            ProtocolError,
-            ConnectionError,
-            asyncio.IncompleteReadError,
-            asyncio.TimeoutError,
-            OSError,
-        ) as exc:
-            await self.close()
-            raise ServeError(
-                f"{method} {path} to {self.host}:{self.port} failed: {exc}"
-            ) from exc
+        timeout = self.timeout
+        if self.retry is not None and self.retry.per_attempt_timeout:
+            timeout = self.retry.per_attempt_timeout
+        for attempt in (1, 2):
+            reused = await self._ensure_connected()
+            try:
+                self._writer.write(head + body)
+                await self._writer.drain()
+                status, headers, payload = await asyncio.wait_for(
+                    read_response(self._reader), timeout=timeout
+                )
+                break
+            except asyncio.TimeoutError as exc:
+                await self.close()
+                raise ServeError(
+                    f"{method} {path} to {self.host}:{self.port} "
+                    f"timed out after {timeout}s"
+                ) from exc
+            except (
+                ProtocolError,
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                OSError,
+            ) as exc:
+                await self.close()
+                if reused and attempt == 1:
+                    continue  # stale keep-alive: reconnect once
+                raise ServeError(
+                    f"{method} {path} to {self.host}:{self.port} "
+                    f"failed: {exc}"
+                ) from exc
         if headers.get("connection", "").lower() == "close":
             await self.close()
         try:
             parsed = json.loads(payload.decode("utf-8")) if payload else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ServeError(f"non-JSON response body: {exc}") from exc
-        return status, parsed
+        retry_after = _attach_retry_after(
+            parsed, parse_retry_after(headers.get("retry-after"))
+        )
+        return status, parsed, retry_after
+
+    async def _guarded_once(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        if self.breaker is not None and not self.breaker.allow():
+            raise CircuitOpenError(
+                f"circuit open for {self.host}:{self.port}"
+            )
+        try:
+            status, parsed, retry_after = await self._request_once(
+                method, path, body
+            )
+        except ServeError:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            if status >= 500:
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
+        return status, parsed, retry_after
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        document: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One round trip; raises :class:`ServeError` on transport failure.
+
+        With a :class:`RetryPolicy` installed, retryable statuses and
+        transport errors are retried under backoff; the final journey
+        is ``self.last_retry``.
+        """
+        body = (
+            json.dumps(document).encode("utf-8") if document is not None else b""
+        )
+        if self.retry is None:
+            status, parsed, _ = await self._guarded_once(method, path, body)
+            return status, parsed
+        self._request_index += 1
+        state = self.retry.start(seed_offset=self._request_index)
+        self.last_retry = state
+        while True:
+            error: Optional[ServeError] = None
+            status: Optional[int] = None
+            parsed: Dict[str, Any] = {}
+            retry_after: Optional[float] = None
+            try:
+                status, parsed, retry_after = await self._guarded_once(
+                    method, path, body
+                )
+            except ServeError as exc:
+                error = exc
+                retry_after = exc.retry_after
+            state.record_attempt(status)
+            if error is None and not self.retry.retryable_status(status):
+                state.finish(recovered=state.retried and status < 400)
+                return status, parsed
+            delay = state.next_delay(retry_after)
+            if delay is None:  # budget spent: exhausted
+                state.finish(recovered=False)
+                if error is not None:
+                    raise error
+                return status, parsed
+            await asyncio.sleep(delay)
 
     async def post_op(
         self,

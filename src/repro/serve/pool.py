@@ -40,6 +40,7 @@ from repro.batch.workers import (
     run_task,
     timeout_document,
 )
+from repro.chaos import PoolSpawnInjected, get_chaos
 
 
 class WorkerPool:
@@ -68,6 +69,13 @@ class WorkerPool:
             self._executor = self._make()
 
     def _make(self) -> Any:
+        chaos = get_chaos()
+        if chaos is not None:
+            directive = chaos.decide("pool.spawn", worker_kind=self.kind)
+            if directive is not None:
+                raise PoolSpawnInjected(
+                    "chaos: injected executor-construction failure"
+                )
         if self.kind == "thread" and self._executor_factory is None:
             return ThreadPoolExecutor(self.workers)
         return make_executor(self.workers, self._executor_factory)
@@ -80,8 +88,15 @@ class WorkerPool:
                     dead.shutdown(wait=False, cancel_futures=True)
                 except Exception:
                     pass
-            self._executor = self._make()
-            self.respawns += 1
+            try:
+                self._executor = self._make()
+            except Exception:
+                # Stay down (spawn itself failed — injected or real);
+                # the next request's start() tries again rather than
+                # wedging the server now.
+                self._executor = None
+            else:
+                self.respawns += 1
 
     def shutdown(self, wait: bool = True) -> None:
         with self._lock:
@@ -104,36 +119,64 @@ class WorkerPool:
         two parent-side failure kinds added: ``timeout`` for a task
         that outlived ``timeout`` seconds, and ``internal`` with a
         respawn for a pool that broke underneath it.
+
+        Fault injection: the chaos controller (if active) is consulted
+        here — the worker process cannot hold it — and its directive
+        ships with the task.  Parent-side failure envelopes caused by
+        a directive carry ``"injected": True``.
         """
-        if self._executor is None:
-            self.start()
+        directive = None
+        chaos = get_chaos()
+        if chaos is not None:
+            directive = chaos.decide("worker.task", op=op)
+        injected = directive is not None
+
+        def _tag(envelope: Dict[str, Any]) -> Dict[str, Any]:
+            if injected and not envelope.get("ok"):
+                envelope["injected"] = True
+            return envelope
+
+        def _submit() -> Any:
+            if self._executor is None:
+                self.start()
+            return self._executor.submit(run_task, op, text, options, directive)
+
         try:
-            future = self._executor.submit(run_task, op, text, options)
-        except (BrokenExecutor, RuntimeError) as exc:
+            future = _submit()
+        except (BrokenExecutor, RuntimeError, PoolSpawnInjected) as exc:
             # The pool broke between requests: respawn and retry once.
             self._respawn()
             try:
-                future = self._executor.submit(run_task, op, text, options)
+                future = _submit()
             except Exception as exc2:  # still down: give up on this request
-                return {"ok": False, "kind": "internal",
-                        "error": error_document(exc2)}
+                envelope = {"ok": False, "kind": "internal",
+                            "error": error_document(exc2)}
+                if isinstance(exc2, PoolSpawnInjected) or isinstance(
+                    exc, PoolSpawnInjected
+                ):
+                    envelope["injected"] = True
+                return envelope
             del exc
         try:
-            return await asyncio.wait_for(
+            return _tag(await asyncio.wait_for(
                 asyncio.wrap_future(future), timeout
-            )
+            ))
         except asyncio.TimeoutError:
             future.cancel()
-            return {
+            return _tag({
                 "ok": False,
                 "kind": "timeout",
                 "error": timeout_document(timeout),
-            }
+            })
         except BrokenExecutor as exc:
             self._respawn()
-            return {"ok": False, "kind": "internal", "error": error_document(exc)}
+            return _tag(
+                {"ok": False, "kind": "internal", "error": error_document(exc)}
+            )
         except asyncio.CancelledError:
             future.cancel()
             raise
         except Exception as exc:  # cancelled future during shutdown, etc.
-            return {"ok": False, "kind": "internal", "error": error_document(exc)}
+            return _tag(
+                {"ok": False, "kind": "internal", "error": error_document(exc)}
+            )

@@ -1,0 +1,276 @@
+"""Client-side resilience: retry/backoff, circuit breaking, deadlines.
+
+The derivation server already contains failures on its side — 503 +
+``Retry-After`` sheds, 504 timeouts, 500 + pool respawn — but until
+this layer the clients just reported them.  Here is the other half of
+the contract, proven against :mod:`repro.chaos`'s fault plans:
+
+* :class:`RetryPolicy` — exponential backoff with **deterministic**
+  (seeded) jitter, the server's ``Retry-After`` hint honored, and two
+  deadline budgets: per attempt and total (sleeps count against the
+  total, so a retry loop can never outlive its caller's patience);
+* :class:`CircuitBreaker` — classic closed/open/half-open.  The time
+  source is injectable (``clock=``) so chaos tests and the breaker's
+  own unit tests advance time without sleeping;
+* :class:`RetryState` — one request's journey through a policy:
+  attempt count, statuses seen, sleep total.  The clients expose the
+  final state so the load generator can classify outcomes
+  (ok / shed-then-recovered / exhausted) without re-deriving them.
+
+Everything is standard-library only, and a client constructed without
+a policy behaves exactly as before — the retry layer costs nothing
+until it is asked for (``benchmarks/bench_serve.py`` gates this).
+
+Retries record ``client.retry.*`` metrics into the active
+:mod:`repro.obs.metrics` registry (a no-op unless one is installed).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
+
+from repro.obs.metrics import get_registry
+
+#: HTTP statuses a retry can help with: the server shed (503), timed a
+#: worker out (504) or broke a worker (500).  4xx are the caller's
+#: fault and never retried.
+DEFAULT_RETRY_STATUSES: FrozenSet[int] = frozenset({500, 503, 504})
+
+
+class CircuitOpenError(Exception):
+    """The circuit breaker refused the request without sending it."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and how long) a client keeps trying one request.
+
+    ``max_attempts`` counts the first try: ``max_attempts=1`` means no
+    retries at all.  Backoff for attempt ``n`` (1-based) is::
+
+        delay = min(max_delay, base_delay * multiplier ** (n - 1))
+        delay *= 1 - jitter * rng.random()        # deterministic jitter
+
+    then raised to the server's ``Retry-After`` hint when one arrived
+    and ``honor_retry_after`` is set.  ``total_deadline`` bounds the
+    whole journey — attempts *and* backoff sleeps; once the remaining
+    budget cannot cover the next sleep the policy gives up (the
+    request is *exhausted*).  ``per_attempt_timeout`` overrides the
+    client's transport timeout for each individual attempt.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    total_deadline: Optional[float] = None
+    per_attempt_timeout: Optional[float] = None
+    retry_statuses: FrozenSet[int] = DEFAULT_RETRY_STATUSES
+    honor_retry_after: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.total_deadline is not None and self.total_deadline <= 0:
+            raise ValueError("total_deadline must be positive (or None)")
+
+    # ------------------------------------------------------------------
+    def start(self, seed_offset: int = 0) -> "RetryState":
+        """A fresh per-request state (jitter stream seeded by policy)."""
+        return RetryState(policy=self, seed_offset=seed_offset)
+
+    def retryable_status(self, status: int) -> bool:
+        return status in self.retry_statuses
+
+
+@dataclass
+class RetryState:
+    """One request's live journey through a :class:`RetryPolicy`.
+
+    The clients keep the final state around (``client.last_retry``) so
+    callers — the load generator above all — can read how the request
+    got where it got: how many attempts, which statuses, how long the
+    backoff slept, and whether the budget ran out (*exhausted*).
+    """
+
+    policy: RetryPolicy
+    seed_offset: int = 0
+    attempts: int = 0
+    statuses: List[int] = field(default_factory=list)
+    transport_errors: int = 0
+    slept_s: float = 0.0
+    exhausted: bool = False
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(f"{self.policy.seed}:{self.seed_offset}")
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
+
+    def record_attempt(self, status: Optional[int]) -> None:
+        """Count one attempt; ``status=None`` means a transport error."""
+        self.attempts += 1
+        if status is None:
+            self.transport_errors += 1
+            self.statuses.append(0)
+        else:
+            self.statuses.append(status)
+
+    def next_delay(self, retry_after: Optional[float] = None) -> Optional[float]:
+        """Backoff before the next attempt, or ``None`` to give up.
+
+        ``None`` marks the request exhausted: either the attempt
+        budget is spent or the total deadline cannot cover the sleep.
+        Call *after* :meth:`record_attempt`.
+        """
+        if self.attempts >= self.policy.max_attempts:
+            self.exhausted = True
+            return None
+        delay = min(
+            self.policy.max_delay,
+            self.policy.base_delay * self.policy.multiplier ** (self.attempts - 1),
+        )
+        delay *= 1 - self.policy.jitter * self._rng.random()
+        if retry_after is not None and self.policy.honor_retry_after:
+            delay = max(delay, retry_after)
+        if (
+            self.policy.total_deadline is not None
+            and self.slept_s + delay > self.policy.total_deadline
+        ):
+            self.exhausted = True
+            return None
+        self.slept_s += delay
+        return delay
+
+    def finish(self, recovered: bool) -> None:
+        """Publish the journey's ``client.retry.*`` metrics."""
+        registry = get_registry()
+        registry.counter(
+            "client.retry.attempts", help="request attempts, first tries included"
+        ).inc(self.attempts)
+        if self.attempts > 1:
+            registry.counter(
+                "client.retry.retries", help="attempts beyond the first"
+            ).inc(self.attempts - 1)
+        if recovered:
+            registry.counter(
+                "client.retry.recovered",
+                help="requests that failed at least once and then succeeded",
+            ).inc()
+        if self.exhausted:
+            registry.counter(
+                "client.retry.exhausted",
+                help="requests whose retry budget ran out",
+            ).inc()
+        if self.slept_s:
+            registry.counter(
+                "client.retry.sleep_s", help="total backoff slept"
+            ).inc(self.slept_s)
+
+
+def parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """The delay-seconds form of ``Retry-After`` (dates unsupported)."""
+    if value is None:
+        return None
+    try:
+        seconds = float(value.strip())
+    except (ValueError, AttributeError):
+        return None
+    return max(seconds, 0.0)
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker with an injectable clock.
+
+    * **closed** — requests flow; ``failure_threshold`` *consecutive*
+      failures trip the breaker open;
+    * **open** — requests are refused on the spot (the caller raises
+      :class:`CircuitOpenError`) until ``reset_timeout`` seconds of
+      the injected ``clock`` have passed;
+    * **half-open** — up to ``half_open_max`` probe requests may
+      proceed; one success closes the breaker, one failure reopens it
+      (and restarts the timeout).
+
+    The clock defaults to :func:`time.monotonic`; chaos tests inject a
+    fake so breaker transitions are exact, not sleep-raced.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 5.0,
+        half_open_max: int = 1,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        if half_open_max < 1:
+            raise ValueError("half_open_max must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_max = half_open_max
+        self.clock = clock
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at: Optional[float] = None
+        self._half_open_inflight = 0
+        self.opens = 0  # times the breaker tripped (for reports)
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        self._maybe_half_open()
+        return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == "open"
+            and self._opened_at is not None
+            and self.clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = "half-open"
+            self._half_open_inflight = 0
+
+    def allow(self) -> bool:
+        """May one request proceed right now?"""
+        self._maybe_half_open()
+        if self._state == "closed":
+            return True
+        if self._state == "half-open":
+            if self._half_open_inflight < self.half_open_max:
+                self._half_open_inflight += 1
+                return True
+            return False
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        if self._state == "half-open":
+            self._state = "closed"
+        self._half_open_inflight = 0
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._state == "half-open" or (
+            self._state == "closed"
+            and self._failures >= self.failure_threshold
+        ):
+            self._state = "open"
+            self._opened_at = self.clock()
+            self.opens += 1
+            self._half_open_inflight = 0

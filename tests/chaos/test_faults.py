@@ -1,0 +1,244 @@
+"""FaultSpec / FaultPlan / ChaosController unit tests.
+
+The determinism contract under test: a controller's decisions are a
+pure function of (plan, per-point hit sequence).  Same plan, same hit
+sequence, same directives — every time.
+"""
+
+import pytest
+
+from repro.chaos import (
+    BUILTIN_PLANS,
+    POINTS,
+    ChaosController,
+    ChaosError,
+    FaultPlan,
+    FaultSpec,
+    get_chaos,
+    get_plan,
+    list_plans,
+    set_chaos,
+    use_chaos,
+)
+
+
+class TestFaultSpecValidation:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ChaosError, match="unknown injection point"):
+            FaultSpec("worker.nap", "worker_kill")
+
+    def test_kind_must_belong_to_point(self):
+        with pytest.raises(ChaosError, match="does not belong"):
+            FaultSpec("worker.task", "latency")
+
+    def test_cadence_bounds(self):
+        with pytest.raises(ChaosError, match="every"):
+            FaultSpec("worker.task", "worker_kill", every=0)
+        with pytest.raises(ChaosError, match="after"):
+            FaultSpec("worker.task", "worker_kill", after=-1)
+        with pytest.raises(ChaosError, match="max_injections"):
+            FaultSpec("worker.task", "worker_kill", max_injections=0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ChaosError, match="probability"):
+            FaultSpec("worker.task", "worker_kill", probability=0.0)
+        with pytest.raises(ChaosError, match="probability"):
+            FaultSpec("worker.task", "worker_kill", probability=1.5)
+        FaultSpec("worker.task", "worker_kill", probability=1.0)  # allowed
+
+    def test_directive_carries_kind_parameters(self):
+        stall = FaultSpec("worker.task", "worker_stall", stall_s=0.7)
+        assert stall.directive() == {"kind": "worker_stall", "stall_s": 0.7}
+        latency = FaultSpec("server.handler", "latency", latency_ms=12.5)
+        assert latency.directive() == {"kind": "latency", "latency_ms": 12.5}
+        drop = FaultSpec("server.response", "drop_connection", drop_bytes=8)
+        assert drop.directive() == {"kind": "drop_connection", "drop_bytes": 8}
+        kill = FaultSpec("worker.task", "worker_kill")
+        assert kill.directive() == {"kind": "worker_kill"}
+
+
+class TestFaultPlan:
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ChaosError, match="schedules no faults"):
+            FaultPlan("empty")
+
+    def test_with_seed_preserves_everything_else(self):
+        plan = get_plan("worker-kill", seed=0)
+        reseeded = plan.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.name == plan.name
+        assert reseeded.faults == plan.faults
+        assert reseeded.server_overrides == plan.server_overrides
+
+    def test_to_dict_from_dict_roundtrip(self):
+        for name in BUILTIN_PLANS:
+            plan = get_plan(name, seed=7)
+            rebuilt = FaultPlan.from_dict(plan.to_dict())
+            assert rebuilt == plan
+
+    def test_from_dict_rejects_malformed_documents(self):
+        with pytest.raises(ChaosError, match="malformed"):
+            FaultPlan.from_dict({"name": "x"})  # no faults key
+        with pytest.raises(ChaosError, match="malformed"):
+            FaultPlan.from_dict(
+                {"name": "x", "faults": [{"point": "worker.task"}]}
+            )  # FaultSpec missing kind
+
+    def test_unknown_builtin_name(self):
+        with pytest.raises(ChaosError, match="unknown fault plan"):
+            get_plan("segfault-everything")
+
+    def test_list_plans_covers_every_builtin(self):
+        lines = list_plans()
+        assert len(lines) == len(BUILTIN_PLANS)
+        for name in BUILTIN_PLANS:
+            assert any(line.startswith(name) for line in lines)
+
+    def test_builtins_are_cadence_only(self):
+        """Built-in plans never use probability: pure replayability."""
+        for plan in BUILTIN_PLANS.values():
+            for fault in plan.faults:
+                assert fault.probability is None
+
+
+def cadence_plan(**kwargs):
+    defaults = dict(every=3, after=2, max_injections=2)
+    defaults.update(kwargs)
+    return FaultPlan(
+        "test", faults=(FaultSpec("worker.task", "worker_kill", **defaults),)
+    )
+
+
+class TestControllerCadence:
+    def decisions(self, controller, point, hits):
+        return [controller.decide(point) for _ in range(hits)]
+
+    def test_after_every_max_schedule(self):
+        controller = ChaosController(cadence_plan())
+        fired = [
+            decision is not None
+            for decision in self.decisions(controller, "worker.task", 9)
+        ]
+        # hits 0..8; eligible from hit 2, every 3rd, at most 2 firings
+        assert fired == [False, False, True, False, False, True,
+                         False, False, False]
+
+    def test_wrong_point_never_fires(self):
+        controller = ChaosController(cadence_plan(after=0, every=1))
+        assert self.decisions(controller, "server.handler", 5) == [None] * 5
+
+    def test_first_matching_fault_wins(self):
+        plan = FaultPlan(
+            "both",
+            faults=(
+                FaultSpec("worker.task", "worker_kill", every=1, after=0),
+                FaultSpec("worker.task", "worker_stall", every=1, after=0),
+            ),
+        )
+        controller = ChaosController(plan)
+        directive = controller.decide("worker.task")
+        assert directive == {"kind": "worker_kill"}
+        assert controller.injections()["by_kind"] == {"worker_kill": 1}
+
+    def test_probability_faults_replay_per_seed(self):
+        plan = FaultPlan(
+            "coin", seed=5,
+            faults=(FaultSpec("worker.task", "worker_kill", probability=0.5),),
+        )
+        runs = []
+        for _ in range(2):
+            controller = ChaosController(plan)
+            runs.append(
+                [controller.decide("worker.task") is not None
+                 for _ in range(40)]
+            )
+        assert runs[0] == runs[1]  # same seed, same coin flips
+        assert any(runs[0]) and not all(runs[0])  # it IS a coin
+
+    def test_events_log_hit_and_context(self):
+        controller = ChaosController(cadence_plan(after=0, every=1))
+        controller.decide("worker.task", op="derive", attempt=1)
+        (event,) = controller.events
+        assert event["point"] == "worker.task"
+        assert event["kind"] == "worker_kill"
+        assert event["hit"] == 0
+        assert event["op"] == "derive"
+        assert event["attempt"] == 1
+
+    def test_reserved_event_keys_survive_context_collisions(self):
+        """A caller passing kind=/point=/hit= must not clobber the log."""
+        controller = ChaosController(cadence_plan(after=0, every=1))
+        controller.decide("worker.task", kind="thread", hit=99, index=7)
+        (event,) = controller.events
+        assert event["kind"] == "worker_kill"
+        assert event["point"] == "worker.task"
+        assert event["hit"] == 0
+        assert event["index"] == 0
+
+    def test_injections_report_shape(self):
+        controller = ChaosController(cadence_plan(after=0, every=2))
+        for _ in range(4):
+            controller.decide("worker.task")
+        controller.decide("server.handler")
+        report = controller.injections()
+        assert report["total"] == 2
+        assert report["by_point"] == {"worker.task": 2}
+        assert report["by_kind"] == {"worker_kill": 2}
+        assert report["hits"] == {"worker.task": 4, "server.handler": 1}
+        assert len(report["events"]) == 2
+
+
+class TestActivationSeam:
+    def test_default_is_off(self):
+        assert get_chaos() is None
+
+    def test_use_chaos_scopes_and_restores(self):
+        controller = ChaosController(cadence_plan())
+        with use_chaos(controller) as active:
+            assert active is controller
+            assert get_chaos() is controller
+        assert get_chaos() is None
+
+    def test_set_chaos_returns_previous(self):
+        controller = ChaosController(cadence_plan())
+        assert set_chaos(controller) is None
+        try:
+            assert get_chaos() is controller
+        finally:
+            assert set_chaos(None) is controller
+        assert get_chaos() is None
+
+
+class TestPointsRegistry:
+    def test_every_point_names_at_least_one_kind(self):
+        for point, kinds in POINTS.items():
+            assert kinds, point
+
+    def test_every_point_has_a_call_site_in_the_source(self):
+        """A point with no ``decide("<point>")`` caller is dead config
+        (the CI selfcheck job runs the same assertion)."""
+        import pathlib
+        import re
+
+        root = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+        source = "\n".join(
+            path.read_text(encoding="utf-8")
+            for path in root.rglob("*.py")
+            if "chaos" not in path.parts
+        )
+        dead = [
+            point
+            for point in sorted(POINTS)
+            if not re.search(r'decide\(\s*"' + re.escape(point) + '"', source)
+        ]
+        assert not dead, f"injection points with no call site: {dead}"
+
+    def test_builtin_plans_cover_every_point(self):
+        """Each injection point is exercised by at least one plan."""
+        covered = {
+            fault.point
+            for plan in BUILTIN_PLANS.values()
+            for fault in plan.faults
+        }
+        missing = set(POINTS) - covered
+        assert not missing, f"points no builtin plan exercises: {missing}"

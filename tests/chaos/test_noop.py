@@ -1,0 +1,103 @@
+"""Disabled chaos must do zero work and change no output, byte for byte.
+
+Enforced the same way :mod:`tests.obs.test_noop` enforces zero clock
+reads: :meth:`ChaosController.decide` is monkeypatched to raise, then
+the whole pipeline — derivation, serve round trips, batch runs, cache
+reads, worker tasks — runs with no controller installed.  Any
+injection point that consults the controller without the
+``get_chaos() is not None`` gate explodes immediately, and every
+output is compared against a baseline computed before the patch.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.batch.cache import EntityCache
+from repro.batch.manifest import corpus_from_texts
+from repro.batch.scheduler import run_batch
+from repro.batch.workers import run_task
+from repro.chaos import ChaosController, get_chaos
+from repro.serve.client import AsyncServeClient
+from tests.serve.conftest import EXAMPLE_SPEC, running_server
+
+SPECS = {
+    "pair": EXAMPLE_SPEC,
+    "chain": "SPEC a1; b2; exit >> c3; exit ENDSPEC",
+}
+
+
+@pytest.fixture()
+def chaos_forbidden(monkeypatch):
+    """No controller installed, and deciding at all is an error."""
+    assert get_chaos() is None
+
+    def explode(self, point, **context):
+        raise AssertionError(f"chaos consulted while disabled: {point}")
+
+    monkeypatch.setattr(ChaosController, "decide", explode)
+
+
+def test_worker_task_identical_with_chaos_disabled(chaos_forbidden):
+    baseline = run_task("derive", EXAMPLE_SPEC, None)
+    again = run_task("derive", EXAMPLE_SPEC, None, None)
+    assert baseline["ok"] and again["ok"]
+    # timing-free payload must match byte for byte
+    assert again["result"]["entities"] == baseline["result"]["entities"]
+    assert again["result"]["places"] == baseline["result"]["places"]
+
+
+def test_serve_roundtrip_untouched_with_chaos_disabled(chaos_forbidden):
+    async def scenario():
+        async with running_server() as server:
+            client = AsyncServeClient("127.0.0.1", server.port)
+            try:
+                status, envelope = await client.post_op("derive", EXAMPLE_SPEC)
+                health, _ = await client.request("GET", "/healthz")
+            finally:
+                await client.close()
+        return status, envelope, health
+
+    status, envelope, health = asyncio.run(scenario())
+    assert status == 200 and health == 200
+    assert envelope["ok"]
+    # the result must equal an un-served derivation of the same spec
+    direct = run_task("derive", EXAMPLE_SPEC, None)
+    assert envelope["result"]["entities"] == direct["result"]["entities"]
+    assert "retry_after" not in envelope
+
+
+def test_batch_outputs_identical_with_chaos_disabled(chaos_forbidden):
+    corpus = corpus_from_texts(SPECS.items())
+    baseline = run_batch(corpus, workers=0)
+    serial = run_batch(corpus, workers=0)
+    assert serial.ok and baseline.ok
+    assert serial.entities == baseline.entities
+
+
+def test_cache_reads_identical_with_chaos_disabled(chaos_forbidden, tmp_path):
+    cache = EntityCache(tmp_path / "cache")
+    key = cache.key(EXAMPLE_SPEC, None)
+    assert cache.get(key) is None  # miss path, entry absent
+    cache.put(key, "pair", None, {1: "entity one", 2: "entity two"})
+    entry = cache.get(key)  # hit path, entry exists — the gated branch
+    assert entry is not None
+    assert entry["entities"] == {"1": "entity one", "2": "entity two"}
+    assert cache.get(key) == entry
+
+
+def test_client_without_policy_does_single_attempts(chaos_forbidden):
+    """No retry policy: the pre-resilience single-attempt behaviour."""
+
+    async def scenario():
+        async with running_server() as server:
+            client = AsyncServeClient("127.0.0.1", server.port)
+            try:
+                await client.post_op("derive", EXAMPLE_SPEC)
+            finally:
+                await client.close()
+            assert client.retry is None
+            assert client.breaker is None
+            assert client.last_retry is None
+
+    asyncio.run(scenario())

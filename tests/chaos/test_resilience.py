@@ -1,0 +1,243 @@
+"""Retry policy, retry state and circuit breaker unit tests.
+
+No sleeping here: delays are computed, never slept, and the breaker
+runs on a hand-cranked fake clock.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.serve.resilience import (
+    DEFAULT_RETRY_STATUSES,
+    CircuitBreaker,
+    RetryPolicy,
+    parse_retry_after,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 4
+        assert policy.retry_statuses == DEFAULT_RETRY_STATUSES
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"max_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+            {"total_deadline": 0.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_retryable_statuses(self):
+        policy = RetryPolicy()
+        assert policy.retryable_status(503)
+        assert policy.retryable_status(504)
+        assert policy.retryable_status(500)
+        assert not policy.retryable_status(200)
+        assert not policy.retryable_status(422)
+        custom = RetryPolicy(retry_statuses=frozenset({429}))
+        assert custom.retryable_status(429)
+        assert not custom.retryable_status(503)
+
+
+def drain(policy, seed_offset=0, failures=None):
+    """Walk a state through repeated failures; returns the delays."""
+    state = policy.start(seed_offset=seed_offset)
+    delays = []
+    while True:
+        state.record_attempt(failures.pop(0) if failures else 503)
+        delay = state.next_delay()
+        if delay is None:
+            return state, delays
+        delays.append(delay)
+
+
+class TestRetryState:
+    def test_max_attempts_one_means_no_retries(self):
+        state, delays = drain(RetryPolicy(max_attempts=1))
+        assert delays == []
+        assert state.attempts == 1
+        assert state.exhausted
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.1, multiplier=2.0,
+            max_delay=0.4, jitter=0.0,
+        )
+        _, delays = drain(policy)
+        assert delays == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_jitter_only_shrinks_and_is_deterministic(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0,
+            max_delay=1.0, jitter=0.5, seed=3,
+        )
+        _, first = drain(policy, seed_offset=11)
+        _, second = drain(policy, seed_offset=11)
+        assert first == second  # same seed + offset: same jitter stream
+        ceilings = [0.1, 0.2, 0.4, 0.8]
+        for delay, ceiling in zip(first, ceilings):
+            assert ceiling / 2 <= delay <= ceiling
+
+    def test_different_offsets_get_different_jitter(self):
+        policy = RetryPolicy(max_attempts=4, jitter=0.5, seed=3)
+        _, a = drain(policy, seed_offset=1)
+        _, b = drain(policy, seed_offset=2)
+        assert a != b
+
+    def test_retry_after_raises_the_delay(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+        state = policy.start()
+        state.record_attempt(503)
+        assert state.next_delay(retry_after=0.5) == 0.5
+
+    def test_retry_after_ignored_when_disabled(self):
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.01, jitter=0.0,
+            honor_retry_after=False,
+        )
+        state = policy.start()
+        state.record_attempt(503)
+        assert state.next_delay(retry_after=0.5) == 0.01
+
+    def test_total_deadline_stops_the_journey(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=0.1, multiplier=2.0,
+            max_delay=10.0, jitter=0.0, total_deadline=0.5,
+        )
+        state, delays = drain(policy)
+        # 0.1 + 0.2 fit the 0.5 budget; the next 0.4 would blow it
+        assert delays == [0.1, 0.2]
+        assert state.exhausted
+        assert state.slept_s == pytest.approx(0.3)
+
+    def test_transport_errors_recorded_as_status_zero(self):
+        state = RetryPolicy(max_attempts=2).start()
+        state.record_attempt(None)
+        state.record_attempt(200)
+        assert state.statuses == [0, 200]
+        assert state.transport_errors == 1
+        assert state.retried
+
+    def test_finish_publishes_retry_metrics(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+            state = policy.start()
+            state.record_attempt(503)
+            state.next_delay()
+            state.record_attempt(200)
+            state.finish(recovered=True)
+        assert registry.counter("client.retry.attempts").value() == 2
+        assert registry.counter("client.retry.retries").value() == 1
+        assert registry.counter("client.retry.recovered").value() == 1
+        assert registry.counter("client.retry.exhausted").value() == 0
+
+
+class TestParseRetryAfter:
+    def test_parses_delay_seconds(self):
+        assert parse_retry_after("2") == 2.0
+        assert parse_retry_after(" 0.25 ") == 0.25
+
+    def test_negative_clamped_to_zero(self):
+        assert parse_retry_after("-3") == 0.0
+
+    def test_garbage_and_none_are_none(self):
+        assert parse_retry_after(None) is None
+        assert parse_retry_after("Wed, 21 Oct 2026") is None
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        defaults = dict(failure_threshold=3, reset_timeout=5.0, clock=clock)
+        defaults.update(kwargs)
+        return CircuitBreaker(**defaults), clock
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_max=0)
+
+    def test_consecutive_failures_trip_it(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_the_streak(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_after_reset_timeout(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.9)
+        assert breaker.state == "open"
+        clock.advance(0.2)
+        assert breaker.state == "half-open"
+
+    def test_half_open_admits_limited_probes(self):
+        breaker, clock = self.make(half_open_max=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()      # the probe
+        assert not breaker.allow()  # no second concurrent probe
+
+    def test_half_open_success_closes(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens_and_restarts_timeout(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        clock.advance(4.0)
+        assert breaker.state == "open"  # timer restarted at reopen
+        clock.advance(1.0)
+        assert breaker.state == "half-open"

@@ -1,0 +1,176 @@
+"""The acceptance bar: zero lost requests under every built-in plan.
+
+Each plan boots a real in-process server with its fault schedule
+active and fires a retrying closed-loop burst at it.  The verdict the
+resilience layer has to earn, per plan: every request eventually
+landed a 2xx, ``/healthz`` answered throughout, and the report
+validates against ``repro.obs.chaos/v1``.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.chaos import BUILTIN_PLANS, ChaosError
+from repro.chaos.runner import (
+    default_retry,
+    render_digest,
+    resolve_plan,
+    run_chaos,
+)
+from repro.cli import repro_main
+from repro.obs.schema import validate_chaos
+
+
+def run(plan_name, seed=0, **kwargs):
+    plan = resolve_plan(plan_name, seed)
+    defaults = dict(connections=3, requests=24, workers=2)
+    defaults.update(kwargs)
+    return asyncio.run(run_chaos(plan, **defaults))
+
+
+class TestEveryBuiltinPlanLosesNothing:
+    @pytest.mark.parametrize("plan_name", sorted(BUILTIN_PLANS))
+    def test_zero_lost_requests_and_server_alive(self, plan_name):
+        report = run(plan_name)
+        assert validate_chaos(report) == []
+        verdict = report["verdict"]
+        assert verdict["ok"], render_digest(report)
+        assert verdict["lost_requests"] == 0
+        assert verdict["server_alive"]
+        assert report["health"]["failures"] == 0
+        assert report["health"]["probes"] > 0
+        assert report["loadgen"]["exhausted"] == 0
+        assert report["loadgen"]["ok"] == report["loadgen"]["requests"]
+
+    @pytest.mark.parametrize("plan_name", sorted(BUILTIN_PLANS))
+    def test_faults_actually_fired(self, plan_name):
+        """A chaos run that injects nothing proves nothing.
+
+        ``spawn-flaky``'s second fault (``pool.spawn``) only fires on a
+        respawn, which thread pools never do — its ``worker.task``
+        kills still must fire.
+        """
+        report = run(plan_name)
+        assert report["injections"]["total"] > 0
+        planned_points = {
+            fault["point"] for fault in report["plan"]["faults"]
+        }
+        fired_points = set(report["injections"]["by_point"])
+        assert fired_points <= planned_points
+        assert fired_points  # at least one planned point fired
+
+
+class TestFaultConsequences:
+    def test_worker_kill_recovers_through_retries(self):
+        report = run("worker-kill")
+        assert report["injections"]["by_kind"]["worker_kill"] == 3
+        assert report["loadgen"]["retries"] >= 3
+        assert report["loadgen"]["recovered"] >= 1
+
+    def test_latency_plan_needs_no_retries(self):
+        """Slowdowns are not failures: requests succeed first try."""
+        report = run("latency")
+        assert report["injections"]["by_kind"]["latency"] > 0
+        assert report["loadgen"]["retries"] == 0
+        assert report["loadgen"]["recovered"] == 0
+
+    def test_cache_corrupt_self_heals(self):
+        report = run("cache-corrupt")
+        assert report["injections"]["by_kind"]["corrupt_entry"] > 0
+        # every corrupted read healed into a rederivation, not a failure
+        assert report["loadgen"]["failed"] == 0
+
+    def test_injections_show_up_in_server_metrics(self):
+        report = run("worker-kill")
+        names = {
+            metric["name"]
+            for metric in report["server"]["metrics"]["metrics"]
+        }
+        assert "chaos.injections" in names
+
+
+class TestDeterminism:
+    def test_single_connection_runs_replay_exactly(self):
+        """Same plan, same seed, one connection: identical schedule
+        and identical per-request outcome classification."""
+        kwargs = dict(seed=3, connections=1, requests=18)
+        first = run("worker-kill", **kwargs)
+        second = run("worker-kill", **kwargs)
+        assert first["injections"]["events"] == second["injections"]["events"]
+        for key in ("ok", "shed", "failed", "recovered", "exhausted",
+                    "retries", "statuses"):
+            assert first["loadgen"][key] == second["loadgen"][key], key
+
+    def test_reseeding_is_recorded_in_the_report(self):
+        report = run("latency", seed=42, requests=9, connections=1)
+        assert report["plan"]["seed"] == 42
+
+
+class TestResolvePlan:
+    def test_builtin_by_name(self):
+        plan = resolve_plan("mayhem", seed=5)
+        assert plan.name == "mayhem"
+        assert plan.seed == 5
+
+    def test_plan_document_from_file(self, tmp_path):
+        document = BUILTIN_PLANS["latency"].to_dict()
+        document["name"] = "my-latency"
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        plan = resolve_plan(str(path), seed=9)
+        assert plan.name == "my-latency"
+        assert plan.seed == 9
+        assert plan.faults == BUILTIN_PLANS["latency"].faults
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ChaosError, match="unknown fault plan"):
+            resolve_plan("raining-frogs")
+
+    def test_unreadable_file_raises(self, tmp_path):
+        with pytest.raises(ChaosError, match="cannot read"):
+            resolve_plan(str(tmp_path / "missing.json"))
+
+    def test_non_json_file_raises(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(ChaosError, match="not JSON"):
+            resolve_plan(str(path))
+
+    def test_default_retry_is_seeded_from_the_plan(self):
+        assert default_retry(resolve_plan("mayhem", seed=7)).seed == 7
+
+
+class TestChaosCommand:
+    def test_reports_and_exits_zero_on_a_clean_run(self, capsys):
+        code = repro_main(
+            ["chaos", "worker-kill", "--requests", "12",
+             "--connections", "2", "--indent", "0"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        report = json.loads(captured.out)
+        assert validate_chaos(report) == []
+        assert report["verdict"]["ok"]
+        assert "chaos: plan 'worker-kill'" in captured.err
+        assert "verdict: OK" in captured.err
+
+    def test_list_plans(self, capsys):
+        assert repro_main(["chaos", "--list-plans"]) == 0
+        out = capsys.readouterr().out
+        for name in BUILTIN_PLANS:
+            assert name in out
+
+    def test_unknown_plan_exits_two(self, capsys):
+        assert repro_main(["chaos", "raining-frogs"]) == 2
+        assert "unknown fault plan" in capsys.readouterr().err
+
+    def test_quiet_suppresses_the_digest(self, capsys):
+        code = repro_main(
+            ["chaos", "latency", "--requests", "6", "--connections", "1",
+             "--indent", "0", "--quiet"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.err == ""

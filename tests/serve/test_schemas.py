@@ -96,7 +96,7 @@ class TestResponseValidator:
 class TestLoadgenValidator:
     def good(self):
         return {
-            "schema": "repro.obs.loadgen/v1",
+            "schema": "repro.obs.loadgen/v2",
             "op": "derive",
             "target": "127.0.0.1:8437",
             "connections": 4,
@@ -105,6 +105,9 @@ class TestLoadgenValidator:
             "ok": 16,
             "shed": 0,
             "failed": 0,
+            "recovered": 0,
+            "exhausted": 0,
+            "retries": 0,
             "statuses": {"200": 16},
             "cache": {"hit": 15, "miss": 1, "off": 0},
             "duration_s": 0.25,
@@ -132,3 +135,13 @@ class TestLoadgenValidator:
         document = self.good()
         del document["cache"]["off"]
         assert any("cache" in p for p in validate_loadgen(document))
+
+    def test_rejects_v1_reports_missing_retry_fields(self):
+        document = self.good()
+        document["schema"] = "repro.obs.loadgen/v1"
+        del document["recovered"]
+        del document["exhausted"]
+        del document["retries"]
+        problems = validate_loadgen(document)
+        assert any("schema" in p for p in problems)
+        assert any("retries" in p for p in problems)
